@@ -1,0 +1,37 @@
+"""E10 (ablation): dispatch-policy choice.
+
+Same predictions, same exchange; only replica placement differs (rescue
+disabled so placement intelligence is visible). Probability-aware
+staggered placement should beat random replication on violations *and*
+duplicates, with fewer copies; adding rescue back reaches the
+negligible regime.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e10_dispatch import run_e10
+
+
+def test_e10_dispatch_ablation(benchmark, config, record_table):
+    ablation = run_once(benchmark, run_e10, config)
+    record_table("e10", ablation.render())
+
+    staggered = ablation.row_for("staggered")
+    backfill = ablation.row_for("greedy-backfill")
+    random_k = ablation.row_for("random-k")
+    single = ablation.row_for("no-replication")
+    full = ablation.row_for("staggered+rescue")
+
+    # Probability-aware placement beats random placement on violations,
+    # duplicates, and copies used — the overbooking model's value.
+    assert staggered.sla_violation_rate < 0.8 * random_k.sla_violation_rate
+    assert staggered.duplicates_per_sale < random_k.duplicates_per_sale
+    assert staggered.mean_replication < random_k.mean_replication
+    # Backfill (dup-blind staggering) lands near staggered.
+    assert abs(backfill.sla_violation_rate
+               - staggered.sla_violation_rate) < 0.05
+    # Static replication of any flavour beats a single copy on SLA.
+    assert staggered.sla_violation_rate < single.sla_violation_rate
+    # The full system (with rescue) is an order of magnitude better.
+    assert full.sla_violation_rate < staggered.sla_violation_rate / 4
+    assert full.sla_violation_rate < 0.03

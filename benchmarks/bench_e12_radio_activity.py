@@ -1,0 +1,28 @@
+"""E12 (figure): radio wakeups and state residency.
+
+The mechanism figure: prefetching cuts radio wakeups and the time spent
+in (tail) power states, which is where the energy goes.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.experiments.e12_radio_activity import run_e12
+
+
+def test_e12_radio_activity(benchmark, record_table):
+    # Timelines are memory-hungry: use a reduced population.
+    config = bench_config(n_users=60)
+    figure = run_once(benchmark, run_e12, config)
+    record_table("e12", figure.render())
+
+    assert figure.wakeup_reduction > 0.15
+    assert (figure.prefetch_wakeups_per_user_day
+            < figure.realtime_wakeups_per_user_day)
+    # Tail states dominate active time on 3G — the tail-energy problem.
+    rt = figure.realtime_residency
+    tail = rt.get("high_tail", 0.0) + rt.get("low_tail", 0.0)
+    assert tail > rt.get("active", 0.0)
+    # Prefetching cuts tail residency.
+    pf = figure.prefetch_residency
+    pf_tail = pf.get("high_tail", 0.0) + pf.get("low_tail", 0.0)
+    assert pf_tail < tail

@@ -1,0 +1,23 @@
+"""E1 (Table 1): ad energy share in the top-15 free apps.
+
+Paper: in-app advertising is ~65% of the apps' communication energy and
+~23% of their total energy, on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e1_app_energy import run_e1
+
+
+def test_e1_app_energy(benchmark, record_table):
+    study = run_once(benchmark, run_e1)
+    record_table("e1", study.render())
+
+    assert len(study.rows) == 15
+    # Shape: the two headline averages land near the paper's numbers.
+    assert 0.55 <= study.mean_ad_share_of_communication <= 0.75
+    assert 0.18 <= study.mean_ad_share_of_total <= 0.30
+    # Offline games are ad-dominated; streaming apps are not.
+    by_id = {r.app_id: r for r in study.rows}
+    assert by_id["puzzle_blocks"].ad_share_of_communication == 1.0
+    assert by_id["internet_radio"].ad_share_of_communication < 0.2

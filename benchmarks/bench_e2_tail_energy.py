@@ -1,0 +1,26 @@
+"""E2 (motivating figure): per-ad energy vs batch size.
+
+Paper: an isolated ad fetch is tail-dominated; batching amortises the
+promotion and tail, cutting per-ad energy by an order of magnitude.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e2_tail_energy import run_e2
+
+
+def test_e2_tail_energy(benchmark, record_table):
+    figure = run_once(benchmark, run_e2)
+    record_table("e2", figure.render())
+
+    for radio in ("3g", "lte"):
+        values = [v for _, v in figure.series[radio]]
+        # Strictly decreasing per-ad energy with batch size.
+        assert all(a > b for a, b in zip(values, values[1:]))
+        # Order-of-magnitude amortisation at batch 40.
+        assert figure.amortization_ratio(radio) > 8.0
+    # WiFi has almost no tail: batching barely matters by comparison.
+    assert figure.amortization_ratio("wifi") < figure.amortization_ratio("3g")
+    # Cellular isolated fetches cost ~10 J; WiFi a fraction of a joule.
+    assert figure.series["3g"][0][1] > 5.0
+    assert figure.series["wifi"][0][1] < 1.0

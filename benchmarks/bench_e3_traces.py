@@ -1,0 +1,27 @@
+"""E3 (dataset figure): trace characterization.
+
+Paper: per-user volume is heavy-tailed, usage is strongly diurnal, and
+day-over-day self-similarity is what makes slot prediction possible.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e3_traces import run_e3
+
+
+def test_e3_trace_characterization(benchmark, config, record_table):
+    figure = run_once(benchmark, run_e3, config)
+    record_table("e3", figure.render())
+
+    summary = figure.summary
+    assert summary.n_users == config.n_users
+    # Heavy tail: p90 well above the median.
+    assert summary.slots_per_user_day_p90 > 2 * summary.slots_per_user_day_median
+    # Strong diurnal rhythm with an evening peak.
+    assert figure.peak_to_trough > 3.0
+    assert 17 <= summary.peak_hour <= 23
+    # Day-over-day predictability (the paper's enabling observation).
+    assert summary.day_over_day_autocorrelation > 0.4
+    # CDF probes are monotone.
+    values = [v for _, v in figure.slots_cdf_probes]
+    assert values == sorted(values)

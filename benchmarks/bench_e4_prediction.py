@@ -1,0 +1,35 @@
+"""E4 (model figure): slot-prediction accuracy.
+
+Paper: simple habit-based client models (time-of-day averages) beat
+history-blind baselines; residual error is left to overbooking.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e4_prediction import run_e4
+
+
+def test_e4_prediction_accuracy(benchmark, config, record_table):
+    figure = run_once(benchmark, run_e4, config)
+    record_table("e4", figure.render())
+
+    oracle = figure.summary_for("oracle")
+    assert oracle.mae == 0.0 and oracle.rmse == 0.0
+    # Habit-based models beat the history-blind ones on RMSE.
+    tod = figure.summary_for("time_of_day")
+    ewma = figure.summary_for("ewma")
+    last = figure.summary_for("last_value")
+    mean = figure.summary_for("global_mean")
+    assert tod.rmse < last.rmse
+    assert ewma.rmse < last.rmse
+    # Versus the flat mean, diurnal structure shows up as far more
+    # exactly-right epochs (the flat model is almost never exact) at
+    # comparable or better MAE.
+    assert tod.exact_rate > 3 * mean.exact_rate
+    assert tod.mae <= mean.mae * 1.05
+    # The conservative quantile model under-predicts by design.
+    quantile = figure.summary_for("quantile")
+    assert quantile.bias < tod.bias
+    # Every real model has substantial residual error — the whole reason
+    # overbooking exists.
+    assert tod.mae > 1.0

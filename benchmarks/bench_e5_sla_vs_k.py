@@ -1,0 +1,31 @@
+"""E5 (figure): SLA violation rate vs replication factor k.
+
+Paper: violations fall steeply as ads are replicated across more
+clients; the overbooking model achieves the low-violation regime
+without paying full fixed-k replication.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e5_e6_overbooking import run_e5_e6
+
+
+def test_e5_sla_vs_replication(benchmark, config, record_table):
+    sweep = run_once(benchmark, run_e5_e6, config)
+    record_table("e5", sweep.render())
+
+    violations = [p.sla_violation_rate for p in sweep.points]
+    # No replication misses deadlines wholesale; a little replication
+    # helps a lot (the paper's falling branch).
+    assert violations[0] > 0.10
+    assert violations[1] < violations[0] * 0.8
+    assert min(violations) < violations[0] * 0.7
+    # Beyond the sweet spot, blind fixed-k replication *self-interferes*
+    # (replicas crowd out other sales on finite display capacity), so
+    # violations stop improving — naive replication cannot reach the
+    # negligible regime at any k. See EXPERIMENTS.md.
+    assert all(v > 0.05 for v in violations)
+    # The model-driven system reaches it with ~1 static copy per sale.
+    full = sweep.full_model
+    assert full.sla_violation_rate < min(violations) / 5
+    assert full.k <= min(p.k for p in sweep.points) + 0.5

@@ -1,0 +1,31 @@
+"""E6 (figure): revenue loss vs replication factor k.
+
+Paper: naive replication buys SLA compliance with duplicate
+impressions — revenue loss grows with k. The overbooking model's
+staggering + reconciliation keeps both low simultaneously.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e5_e6_overbooking import run_e5_e6
+
+
+def test_e6_revenue_vs_replication(benchmark, config, record_table):
+    sweep = run_once(benchmark, run_e5_e6, config)
+    record_table("e6", sweep.render())
+
+    duplicates = [p.duplicates_per_sale for p in sweep.points]
+    # Duplicates grow with fixed-k replication...
+    assert duplicates[-1] > 2 * duplicates[0]
+    for earlier, later in zip(duplicates, duplicates[1:]):
+        assert later >= earlier * 0.8
+    # ...and so does revenue loss at high k.
+    assert sweep.points[-1].revenue_loss > sweep.points[0].revenue_loss
+    # The full model sits in the good corner: fewer duplicates than
+    # k=2 replication AND fewer violations than any sweep point.
+    full = sweep.full_model
+    k2 = sweep.points[1]
+    assert full.duplicates_per_sale < k2.duplicates_per_sale
+    assert full.revenue_loss < k2.revenue_loss
+    assert full.sla_violation_rate <= min(
+        p.sla_violation_rate for p in sweep.points)

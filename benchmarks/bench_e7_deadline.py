@@ -1,0 +1,30 @@
+"""E7 (figure): SLA violation and revenue loss vs deadline.
+
+Paper: tight deadlines give static overbooking no room to wait for the
+right client; relaxed deadlines make it nearly free. The full system's
+rescue channel removes the sensitivity.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e7_deadline import run_e7
+
+
+def test_e7_deadline_sweep(benchmark, config, record_table):
+    sweep = run_once(benchmark, run_e7, config)
+    record_table("e7", sweep.render())
+
+    static = sweep.series("static")
+    full = sweep.series("full")
+    assert [p.deadline_h for p in static] == [1.0, 2.0, 4.0, 8.0]
+    # Static overbooking is strongly deadline-sensitive: the 8 h point
+    # cuts the 1 h point's violations by at least 2x.
+    assert static[0].sla_violation_rate > 2 * static[-1].sla_violation_rate
+    assert static[0].sla_violation_rate > 0.10
+    # The full system sits in the negligible regime at every deadline.
+    for p in full:
+        assert p.sla_violation_rate < 0.05
+        assert p.energy_savings > 0.35
+    # And always beats static on violations.
+    for s, f in zip(static, full):
+        assert f.sla_violation_rate < s.sla_violation_rate

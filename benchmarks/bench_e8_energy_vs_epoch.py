@@ -1,0 +1,27 @@
+"""E8 (figure): energy savings vs prefetch period.
+
+Paper: savings grow as the period stretches (fewer syncs) and saturate
+once the batch download dominates each wakeup; very short periods sync
+too often to save much.
+"""
+
+from conftest import run_once
+
+from repro.experiments.e8_energy_vs_epoch import run_e8
+
+
+def test_e8_energy_vs_epoch(benchmark, config, record_table):
+    sweep = run_once(benchmark, run_e8, config)
+    record_table("e8", sweep.render())
+
+    points = sweep.points
+    assert [p.epoch_h for p in points] == [0.5, 1.0, 2.0, 3.0]
+    # Syncs per user-day fall monotonically with the period.
+    syncs = [p.syncs_per_user_day for p in points]
+    assert all(a > b for a, b in zip(syncs, syncs[1:]))
+    # All periods deliver solid savings; the 3 h period is not worse
+    # than the 30 min one (amortisation wins).
+    assert all(p.energy_savings > 0.35 for p in points)
+    assert points[-1].energy_savings >= points[0].energy_savings - 0.03
+    # SLA stays controlled across the sweep (deadline fixed).
+    assert all(p.sla_violation_rate < 0.08 for p in points)

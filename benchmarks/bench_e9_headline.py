@@ -1,0 +1,32 @@
+"""E9 (Table 2): the headline end-to-end comparison.
+
+Paper abstract: "our approach can reduce the ad energy overhead by over
+50% with a negligible revenue loss and SLA violation rate."
+"""
+
+from conftest import bench_config, run_once
+
+from repro.experiments.e9_headline import run_e9
+
+
+def test_e9_headline(benchmark, record_table):
+    config = bench_config()
+    table = run_once(benchmark, run_e9, config)
+    record_table("e9", table.render())
+
+    system = table.row_for("overbooking")
+    # THE claim: >50% ad-energy reduction, negligible loss & violations.
+    assert system.energy_savings > 0.50
+    assert system.revenue_loss < 0.03
+    assert system.sla_violation_rate < 0.03
+
+    naive = table.row_for("naive-prefetch")
+    oracle = table.row_for("oracle")
+    # Naive prefetching saves energy but trashes the SLA.
+    assert naive.sla_violation_rate > 0.15
+    assert system.sla_violation_rate < naive.sla_violation_rate / 10
+    # The oracle bounds the achievable savings from above.
+    assert oracle.energy_savings > system.energy_savings
+    assert oracle.prefetch_served_rate > 0.95
+    # Prefetch serves the bulk of slots locally in the full system.
+    assert system.prefetch_served_rate > 0.7

@@ -1,0 +1,36 @@
+"""X1 (extension): radio-technology sensitivity.
+
+The relative savings story survives on LTE; on WiFi the *relative*
+numbers look similar but the absolute joules collapse — there is almost
+nothing left to save, the honest answer to "what happens as users move
+to WiFi".
+"""
+
+from conftest import bench_config, run_once
+
+from repro.experiments.x1_radio_mix import run_x1
+
+
+def test_x1_radio_mix(benchmark, record_table):
+    config = bench_config(n_users=80)
+    study = run_once(benchmark, run_x1, config)
+    record_table("x1", study.render())
+
+    g3 = study.row_for("3g")
+    lte = study.row_for("lte")
+    wifi = study.row_for("wifi")
+    # Relative savings hold on both cellular technologies.
+    assert g3.energy_savings > 0.45
+    assert lte.energy_savings > 0.45
+    # LTE's per-ad cost is comparable to 3G (big tail power, short promo).
+    assert lte.realtime_ad_j_per_user_day > 0.5 * g3.realtime_ad_j_per_user_day
+    # WiFi: almost nothing to save in absolute terms.
+    assert wifi.realtime_ad_j_per_user_day < 0.05 * g3.realtime_ad_j_per_user_day
+    # Mixed populations: absolute realtime ad energy falls monotonically
+    # with the WiFi share; SLA/revenue stay in the negligible regime.
+    mixed = study.mixed
+    absolutes = [r.realtime_ad_j_per_user_day for r in mixed]
+    assert all(a > b for a, b in zip(absolutes, absolutes[1:]))
+    for row in mixed:
+        assert row.sla_violation_rate < 0.05
+        assert row.revenue_loss < 0.05

@@ -1,0 +1,30 @@
+"""X2 (extension): prefetching vs fast dormancy.
+
+Fast dormancy (the OS-level tail cut) recovers part of the ad energy
+overhead; application-level prefetching recovers a comparable amount on
+unmodified radios, and the two compose — neither obsoletes the other.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.experiments.x2_fast_dormancy import run_x2
+
+
+def test_x2_fast_dormancy(benchmark, record_table):
+    config = bench_config(n_users=80)
+    study = run_once(benchmark, run_x2, config)
+    record_table("x2", study.render())
+
+    rt_3g = study.cell("realtime", "3g")
+    rt_fd = study.cell("realtime", "3g-fd")
+    pf_3g = study.cell("prefetch", "3g")
+    pf_fd = study.cell("prefetch", "3g-fd")
+
+    assert rt_3g.savings_vs_baseline == 0.0
+    # Each fix alone recovers a large chunk.
+    assert rt_fd.savings_vs_baseline > 0.35
+    assert pf_3g.savings_vs_baseline > 0.45
+    # They compose: both together beat either alone by a clear margin.
+    assert pf_fd.savings_vs_baseline > rt_fd.savings_vs_baseline + 0.10
+    assert pf_fd.savings_vs_baseline > pf_3g.savings_vs_baseline + 0.10
+    assert pf_fd.ad_j_per_user_day < rt_3g.ad_j_per_user_day * 0.35

@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one paper artifact at *bench scale* (a
+smaller population than the paper's 1,750 users so the suite completes
+in minutes) and asserts the paper's qualitative shape. Scale knobs are
+environment-overridable:
+
+``REPRO_BENCH_USERS`` (default 150), ``REPRO_BENCH_DAYS`` (default 8),
+``REPRO_BENCH_TRAIN_DAYS`` (default 4), ``REPRO_BENCH_SEED`` (default 7).
+
+Rendered tables are printed (visible with ``-s``) and written to
+``benchmarks/results/`` so a plain ``pytest benchmarks/`` run leaves the
+reproduced artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    params = dict(
+        n_users=int(os.environ.get("REPRO_BENCH_USERS", 150)),
+        n_days=int(os.environ.get("REPRO_BENCH_DAYS", 8)),
+        train_days=int(os.environ.get("REPRO_BENCH_TRAIN_DAYS", 4)),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", 7)),
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(experiment_id: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,52 @@
+"""Scenario: does ad prefetching still matter as networks evolve?
+
+A 2013 system design meets three futures: LTE rollouts, fast-dormancy
+handsets, and WiFi offload. This example runs the headline comparison
+under each and prints the absolute energy stakes alongside the relative
+savings — the analysis behind the X1/X2 extension experiments.
+
+Run:  python examples/network_evolution.py
+"""
+
+from repro.experiments import ExperimentConfig, run_headline
+from repro.metrics import battery_impact, fmt_pct, format_table
+
+SCENARIOS = (
+    ("3G (paper's setting)", dict(radio="3g")),
+    ("3G + fast dormancy", dict(radio="3g-fd")),
+    ("LTE rollout", dict(radio="lte")),
+    ("50% WiFi offload", dict(radio="3g", wifi_fraction=0.5)),
+    ("all WiFi", dict(radio="wifi")),
+)
+
+
+def main() -> None:
+    base = ExperimentConfig(n_users=80, n_days=8, train_days=4, seed=19)
+    rows = []
+    for label, overrides in SCENARIOS:
+        result = run_headline(base.variant(**overrides))
+        realtime = result.realtime.energy
+        prefetch = result.prefetch.energy
+        before = battery_impact(realtime)
+        after = battery_impact(prefetch)
+        rows.append((
+            label,
+            f"{realtime.ad_joules_per_user_day():.0f}",
+            f"{prefetch.ad_joules_per_user_day():.0f}",
+            fmt_pct(result.energy_savings, 1),
+            fmt_pct(before.percent_of_battery_per_day, 1),
+            fmt_pct(after.percent_of_battery_per_day, 1),
+        ))
+    print(format_table(
+        ["scenario", "realtime J/u/d", "prefetch J/u/d", "savings",
+         "battery/day before", "after"],
+        rows,
+        title="Ad energy across network evolutions "
+              "(relative savings persist; absolute stakes shrink)"))
+    print("\nReading: prefetching keeps its >50% relative savings "
+          "everywhere, but the joules at stake collapse once the tail "
+          "does — on WiFi the whole question disappears.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: reproduce the paper's headline claim in one run.
+
+Builds a small synthetic user population, runs the status-quo real-time
+ad system and the prefetch+overbooking system on the identical trace,
+and prints the three headline metrics:
+
+    energy savings      > 50%
+    revenue loss        negligible
+    SLA violation rate  negligible
+
+Run:  python examples/quickstart.py [n_users]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_headline
+from repro.metrics import fmt_pct
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    config = ExperimentConfig(n_users=n_users, n_days=8, train_days=4,
+                              seed=7)
+    print(f"Simulating {config.n_users} users x {config.n_days} days "
+          f"({config.train_days} training) on {config.radio.upper()} ...")
+    comparison = run_headline(config)
+
+    prefetch = comparison.prefetch
+    print()
+    print("Paper claim: >50% ad-energy reduction, negligible revenue loss")
+    print("and SLA violation rate.  Measured:")
+    print(f"  ad energy savings      {fmt_pct(comparison.energy_savings, 1)}")
+    print(f"  revenue loss           {fmt_pct(comparison.revenue_loss)}")
+    print(f"  SLA violation rate     {fmt_pct(comparison.sla_violation_rate)}")
+    print(f"  radio wakeup cut       {fmt_pct(comparison.wakeup_reduction, 1)}")
+    print()
+    print("Mechanics:")
+    print(f"  slots served from cache      "
+          f"{fmt_pct(prefetch.cache_hit_rate, 1)}")
+    print(f"  slots served by rescue       "
+          f"{prefetch.rescued_displays} of {prefetch.total_slots}")
+    print(f"  real-time fallback slots     {prefetch.fallback_displays}")
+    print(f"  duplicate impressions        "
+          f"{prefetch.revenue.duplicate_impressions}")
+    print(f"  mean static replication      {prefetch.mean_replication:.2f}")
+
+
+if __name__ == "__main__":
+    main()

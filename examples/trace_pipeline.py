@@ -1,0 +1,84 @@
+"""Scenario: the trace pipeline — generate, persist, reload, analyse.
+
+The paper's evaluation rests on usage traces. This example runs the
+full trace workflow against the synthetic generator: build a cohort,
+write it to JSONL, read it back, and produce the characterization
+statistics the paper reports for its dataset.
+
+Run:  python examples/trace_pipeline.py [out.jsonl]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.metrics import format_table
+from repro.sim import RngRegistry
+from repro.traces import (
+    TraceConfig,
+    TraceGenerator,
+    hour_of_day_profile,
+    read_trace,
+    refresh_map,
+    slots_per_user_day,
+    summarize,
+    write_trace,
+)
+from repro.workloads import TOP15, PopulationConfig, build_population
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        path = Path(tempfile.gettempdir()) / "adprefetch_demo_trace.jsonl"
+
+    registry = RngRegistry(master_seed=2013)
+    population = build_population(
+        PopulationConfig(n_users=250, median_sessions_per_day=9.0),
+        registry.stream("population"))
+    generator = TraceGenerator(TOP15, TraceConfig(n_days=7),
+                               registry.stream("trace"))
+    trace = generator.generate(population)
+
+    n = write_trace(trace, path)
+    print(f"wrote {n} sessions to {path}")
+    trace = read_trace(path)
+
+    refresh = refresh_map(TOP15)
+    summary = summarize(trace, refresh)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("users", summary.n_users),
+            ("days", summary.n_days),
+            ("sessions", summary.n_sessions),
+            ("ad slots", summary.n_slots),
+            ("slots/user/day (median)",
+             f"{summary.slots_per_user_day_median:.0f}"),
+            ("slots/user/day (p90)", f"{summary.slots_per_user_day_p90:.0f}"),
+            ("peak hour", f"{summary.peak_hour}:00"),
+            ("day-over-day autocorrelation",
+             f"{summary.day_over_day_autocorrelation:.2f}"),
+        ],
+        title="Trace characterization"))
+
+    # A terminal-friendly diurnal histogram.
+    profile = hour_of_day_profile(trace, refresh)
+    print("\nSlots by hour of day:")
+    for hour, fraction in enumerate(profile):
+        bar = "#" * int(round(fraction * 400))
+        print(f"  {hour:02d}h {bar}")
+
+    # Heavy tail across users.
+    per_user = slots_per_user_day(trace, refresh).mean(axis=1)
+    print(f"\nslots/user/day: p10={np.percentile(per_user, 10):.0f} "
+          f"median={np.percentile(per_user, 50):.0f} "
+          f"p90={np.percentile(per_user, 90):.0f} "
+          f"max={per_user.max():.0f}")
+
+
+if __name__ == "__main__":
+    main()

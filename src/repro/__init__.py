@@ -1,0 +1,48 @@
+"""repro — reproduction of "Prefetching Mobile Ads: Can Advertising
+Systems Afford It?" (Mohan, Nath, Riva; EuroSys 2013).
+
+The package implements the full stack the paper evaluates on:
+
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.radio` — cellular/WiFi radio energy model (tail energy).
+* :mod:`repro.traces` / :mod:`repro.workloads` — synthetic populations
+  and app-usage traces standing in for the paper's proprietary traces.
+* :mod:`repro.prediction` — client-side ad-slot predictors.
+* :mod:`repro.exchange` — advertisers, campaigns, RTB auctions.
+* :mod:`repro.client` / :mod:`repro.server` — the ad SDK and ad server.
+* :mod:`repro.core` — the paper's contribution: overbooked replication
+  of prefetched ads with SLA/revenue accounting.
+* :mod:`repro.baselines`, :mod:`repro.metrics`,
+  :mod:`repro.experiments` — comparisons, reporting, and one runner per
+  table/figure.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+# Top-level convenience surface: the objects a downstream user needs to
+# run the system end to end. Subpackages expose the full APIs.
+from repro.experiments.config import (  # noqa: E402
+    BENCH_SCALE,
+    PAPER_SCALE,
+    ExperimentConfig,
+)
+from repro.experiments.harness import (  # noqa: E402
+    get_world,
+    run_headline,
+    run_prefetch,
+    run_realtime,
+)
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "PAPER_SCALE",
+    "BENCH_SCALE",
+    "get_world",
+    "run_headline",
+    "run_prefetch",
+    "run_realtime",
+]

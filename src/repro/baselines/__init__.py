@@ -1,0 +1,19 @@
+"""S10 — baseline serving disciplines and named system presets."""
+
+from .presets import (
+    PRESET_NAMES,
+    apply_preset,
+    naive_prefetch,
+    oracle,
+    overbooking,
+)
+from .realtime import run_realtime
+
+__all__ = [
+    "run_realtime",
+    "PRESET_NAMES",
+    "apply_preset",
+    "naive_prefetch",
+    "overbooking",
+    "oracle",
+]

@@ -1,0 +1,52 @@
+"""Named system configurations compared throughout the evaluation.
+
+Each preset transforms a base :class:`ExperimentConfig` into one of the
+serving disciplines the paper compares:
+
+* ``realtime`` — the status quo (no prefetching at all).
+* ``naive-prefetch`` — prefetch on predictions, no overbooking and no
+  rescue: whatever was mispredicted is simply lost.
+* ``overbooking`` — the paper's full system (staggered dispatch +
+  demand-driven rescue).
+* ``oracle`` — perfect predictions, no replication needed: the upper
+  bound on what any client model could achieve.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+
+PRESET_NAMES = ("realtime", "naive-prefetch", "overbooking", "oracle")
+
+
+def naive_prefetch(base: ExperimentConfig) -> ExperimentConfig:
+    """Prefetching without the paper's machinery (single copy, no rescue)."""
+    return base.variant(policy="no-replication", max_replicas=1,
+                        rescue_batch=0)
+
+
+def overbooking(base: ExperimentConfig) -> ExperimentConfig:
+    """The full system (the base config already encodes its defaults)."""
+    return base.variant(policy="staggered")
+
+
+def oracle(base: ExperimentConfig) -> ExperimentConfig:
+    """Error-free client models; replication becomes unnecessary."""
+    return base.variant(predictor="oracle", policy="no-replication",
+                        max_replicas=1, sell_factor=1.0)
+
+
+def apply_preset(name: str, base: ExperimentConfig) -> ExperimentConfig:
+    """Resolve a preset by name (``realtime`` returns the base config —
+    the caller runs the realtime engine for it)."""
+    presets = {
+        "realtime": lambda b: b,
+        "naive-prefetch": naive_prefetch,
+        "overbooking": overbooking,
+        "oracle": oracle,
+    }
+    try:
+        return presets[name](base)
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(presets)}") from None

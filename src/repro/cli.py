@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+::
+
+    adprefetch list                       # what can be reproduced
+    adprefetch run e9 --users 400         # one experiment
+    adprefetch run all --users 200        # everything
+    adprefetch headline --users 200       # just the abstract's claim
+    adprefetch report out.md --users 150  # full markdown report
+    adprefetch trace out.jsonl --users 50 # dump a synthetic trace
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=400,
+                        help="population size (paper: 1750)")
+    parser.add_argument("--days", type=int, default=10,
+                        help="trace length in days (paper: 14)")
+    parser.add_argument("--train-days", type=int, default=6,
+                        help="days used to warm the models")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--radio", default="3g",
+                        choices=("3g", "3g-fd", "lte", "wifi"))
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_users=args.users,
+        n_days=args.days,
+        train_days=args.train_days,
+        seed=args.seed,
+        radio=args.radio,
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+    for eid in experiment_ids():
+        exp = EXPERIMENTS[eid]
+        print(f"{eid:>4}  {exp.paper_artifact:<18} {exp.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        started = time.time()
+        result = run_experiment(eid, config)
+        print(result.render())
+        print(f"[{eid} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_headline
+    from repro.metrics.summary import fmt_pct
+
+    comparison = run_headline(_config_from(args))
+    print("Paper claim: >50% ad-energy reduction, negligible revenue "
+          "loss and SLA violation rate.")
+    print(f"  energy savings     {fmt_pct(comparison.energy_savings, 1)}")
+    print(f"  revenue loss       {fmt_pct(comparison.revenue_loss)}")
+    print(f"  SLA violation rate {fmt_pct(comparison.sla_violation_rate)}")
+    print(f"  wakeup reduction   {fmt_pct(comparison.wakeup_reduction, 1)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    ids = args.only.split(",") if args.only else None
+    path = write_report(args.path, _config_from(args), ids=ids)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import get_world
+    from repro.traces.io import write_trace
+
+    world = get_world(_config_from(args))
+    count = write_trace(world.trace, args.path)
+    print(f"wrote {count} sessions for {world.trace.n_users} users "
+          f"to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adprefetch",
+        description="Reproduction of 'Prefetching Mobile Ads' "
+                    "(EuroSys 2013)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list reproducible artifacts")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment",
+                       choices=experiment_ids() + ["all"])
+    _add_world_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_head = sub.add_parser("headline", help="reproduce the abstract claim")
+    _add_world_args(p_head)
+    p_head.set_defaults(func=_cmd_headline)
+
+    p_report = sub.add_parser("report",
+                              help="run experiments, write a markdown report")
+    p_report.add_argument("path")
+    p_report.add_argument("--only", default="",
+                          help="comma-separated experiment ids")
+    _add_world_args(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trace file")
+    p_trace.add_argument("path")
+    _add_world_args(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""S5 — client device, event timelines, ad cache, and the ad SDK."""
+
+from .cache import AdQueue, CacheStats
+from .device import TAG_AD, TAG_APP, Device
+from .sdk import AdClient, ClientStats
+from .timeline import (
+    KIND_APP,
+    KIND_APP_STREAM,
+    KIND_SLOT,
+    KIND_SLOT_START,
+    ClientTimeline,
+    compile_timeline,
+    compile_trace,
+)
+
+__all__ = [
+    "Device",
+    "TAG_AD",
+    "TAG_APP",
+    "ClientTimeline",
+    "compile_timeline",
+    "compile_trace",
+    "KIND_SLOT",
+    "KIND_SLOT_START",
+    "KIND_APP",
+    "KIND_APP_STREAM",
+    "AdQueue",
+    "CacheStats",
+    "AdClient",
+    "ClientStats",
+]

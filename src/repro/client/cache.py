@@ -1,0 +1,101 @@
+"""The client-side ad cache (queue).
+
+Prefetched ads are consumed strictly in dispatch order — the order the
+overbooking planner staggered them in — with two ways an entry can die
+unshown: its deadline expires, or a sync reveals another replica was
+already displayed (invalidation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.overbooking import Assignment
+from repro.exchange.marketplace import Sale
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Lifetime counters of one client's cache."""
+
+    installed: int = 0
+    displayed: int = 0
+    expired: int = 0
+    invalidated: int = 0
+    bytes_installed: int = 0
+
+    @property
+    def wasted(self) -> int:
+        """Downloads that never produced an impression."""
+        return self.expired + self.invalidated
+
+
+class AdQueue:
+    """Ordered cache of prefetched ads."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Assignment] = deque()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def install(self, assignments: list[Assignment]) -> int:
+        """Append new assignments in dispatch order; returns bytes added."""
+        nbytes = 0
+        for assignment in assignments:
+            self._queue.append(assignment)
+            nbytes += assignment.sale.creative_bytes
+        self.stats.installed += len(assignments)
+        self.stats.bytes_installed += nbytes
+        return nbytes
+
+    def invalidate(self, shown_ids: set[int]) -> int:
+        """Drop queued ads another replica already displayed."""
+        if not shown_ids or not self._queue:
+            return 0
+        kept = deque(a for a in self._queue if a.sale_id not in shown_ids)
+        removed = len(self._queue) - len(kept)
+        self._queue = kept
+        self.stats.invalidated += removed
+        return removed
+
+    def drop_expired(self, now: float) -> int:
+        """Drop every queued ad whose deadline has passed."""
+        if not self._queue:
+            return 0
+        kept = deque(a for a in self._queue if a.sale.deadline >= now)
+        removed = len(self._queue) - len(kept)
+        self._queue = kept
+        self.stats.expired += removed
+        return removed
+
+    def pop_for_display(self, now: float) -> Sale | None:
+        """Take the next displayable ad.
+
+        Expired entries encountered on the way are discarded (they can
+        never be shown); standby entries (``active_from`` in the future)
+        are *skipped but kept* — their grace period protects the primary
+        replica from duplicates.
+        """
+        standby: list[Assignment] = []
+        found: Sale | None = None
+        while self._queue:
+            assignment = self._queue.popleft()
+            if assignment.sale.deadline < now:
+                self.stats.expired += 1
+                continue
+            if assignment.active_from > now:
+                standby.append(assignment)
+                continue
+            found = assignment.sale
+            self.stats.displayed += 1
+            break
+        for assignment in reversed(standby):
+            self._queue.appendleft(assignment)
+        return found
+
+    def peek_ids(self) -> list[int]:
+        """Sale ids currently queued (for tests and server estimates)."""
+        return [a.sale_id for a in self._queue]

@@ -1,0 +1,181 @@
+"""The client ad SDK.
+
+Runs inside each (simulated) app process. Per prefetch epoch it:
+
+1. **checks in** at the first ad slot — reporting displays since the
+   previous sync, receiving invalidations and its new staggered queue,
+   and downloading the batch in one radio transfer;
+2. **serves slots locally** from the cache (zero radio cost);
+3. **falls back** to the classic real-time fetch when the cache is dry.
+
+The sync deliberately rides the first slot rather than the epoch
+boundary: at that moment an app is in foreground, so the radio wakeup
+the batch costs is the *only* ad-related wakeup of the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workloads.appstore import AppProfile
+
+from .cache import AdQueue
+from .device import Device
+from .timeline import (KIND_APP, KIND_APP_STREAM, KIND_SLOT,
+                        KIND_SLOT_START, ClientTimeline)
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """Lifetime counters of one SDK instance."""
+
+    cached_displays: int = 0
+    rescued_displays: int = 0
+    fallback_displays: int = 0
+    house_displays: int = 0
+    syncs: int = 0
+
+    @property
+    def total_slots(self) -> int:
+        return (self.cached_displays + self.rescued_displays
+                + self.fallback_displays + self.house_displays)
+
+
+class AdClient:
+    """One user's SDK: cache, device, and the per-epoch protocol."""
+
+    def __init__(self, timeline: ClientTimeline, device: Device,
+                 apps: Sequence[AppProfile],
+                 report_delay_s: float = 900.0,
+                 report_bytes: int = 200) -> None:
+        self.timeline = timeline
+        self.device = device
+        self.apps = list(apps)
+        self.queue = AdQueue()
+        self.stats = ClientStats()
+        self.report_delay_s = report_delay_s
+        self.report_bytes = report_bytes
+        self._pending_reports: list[tuple[int, float]] = []
+
+    @property
+    def user_id(self) -> str:
+        return self.timeline.user_id
+
+    def run_epoch(self, start: float, end: float, server) -> None:
+        """Replay this client's events in ``[start, end)``.
+
+        ``server`` is an :class:`~repro.server.adserver.AdServer`; the
+        first slot of the window triggers the sync.
+        """
+        times, kinds, payload = self.timeline.window(start, end)
+        synced = False
+        for t, kind, p in zip(times, kinds, payload):
+            if kind == KIND_SLOT or kind == KIND_SLOT_START:
+                if not synced:
+                    self._sync(float(t), server)
+                    synced = True
+                elif kind == KIND_SLOT_START and (len(self.queue)
+                                                  or self._pending_reports):
+                    # App launch mid-epoch: check in so stale replicas
+                    # are invalidated before this session displays them
+                    # (and pending deliveries arrive early).
+                    self._sync(float(t), server)
+                self._serve_slot(float(t), int(p), server)
+                self._maybe_beacon(float(t), server)
+            elif kind == KIND_APP:
+                self.device.app_request(float(t), int(p))
+                self._flush_reports(float(t), server)  # piggyback, radio warm
+            elif kind == KIND_APP_STREAM:
+                self.device.app_streaming(float(t), float(p))
+                self._flush_reports(float(t), server)  # piggyback, radio warm
+            else:  # pragma: no cover - timeline compiler emits only 4 kinds
+                raise ValueError(f"unknown event kind {kind}")
+        if times.size:
+            self.flush_overdue(float(times[-1]), end, server)
+
+    def _sync(self, now: float, server) -> None:
+        """Check in: report, reconcile, download the new batch."""
+        response = server.sync(self.user_id, now, self._pending_reports)
+        self._pending_reports = []
+        self.queue.invalidate(response.invalidated_ids)
+        self.queue.drop_expired(now)
+        self.queue.install(response.assignments)
+        self.device.ad_fetch(now, response.nbytes)
+        self.stats.syncs += 1
+
+    def _serve_slot(self, now: float, app_index: int, server) -> None:
+        """Fill one ad slot: cache first, fallback second."""
+        sale = self.queue.pop_for_display(now)
+        if sale is not None:
+            server.record_display(sale.sale_id, self.user_id, now)
+            self._pending_reports.append((sale.sale_id, now))
+            self.stats.cached_displays += 1
+            return
+        # Dry cache: first try to rescue sold-but-unshown ads — this
+        # client is demonstrably consuming slots right now.
+        rescued = server.rescue(self.user_id, now)
+        if rescued:
+            from repro.core.overbooking import Assignment
+            nbytes = sum(s.creative_bytes for s in rescued)
+            self.device.ad_fetch(now, nbytes)
+            self.queue.install([Assignment(s) for s in rescued])
+            self._flush_reports(now, server)  # piggyback on the fetch
+            sale = self.queue.pop_for_display(now)
+            if sale is not None:
+                server.record_display(sale.sale_id, self.user_id, now)
+                self._pending_reports.append((sale.sale_id, now))
+                # Report on the rescue fetch's still-open connection so
+                # the original replicas are invalidated immediately.
+                self._flush_reports(now, server)
+                self.stats.rescued_displays += 1
+                return
+        app = self.apps[app_index]
+        fallback = server.realtime_fill(now, category=app.category,
+                                        platform=self.timeline.platform)
+        if fallback is not None:
+            self.device.ad_fetch(now, fallback.creative_bytes)
+            self._flush_reports(now, server)  # piggyback on the fetch
+            self.stats.fallback_displays += 1
+        else:
+            self.stats.house_displays += 1
+
+    def _flush_reports(self, now: float, server) -> None:
+        """Hand pending impression reports to the server (free: the
+        radio is already warm from the transfer we piggyback on); apply
+        any invalidations the response carries."""
+        if self._pending_reports:
+            invalidated = server.report(self.user_id, self._pending_reports)
+            self._pending_reports = []
+            if invalidated:
+                self.queue.invalidate(invalidated)
+
+    def flush_overdue(self, now: float, end: float, server) -> None:
+        """Fire the SDK's background report timer if it is due.
+
+        Real SDKs schedule an OS timer ``report_delay_s`` after the first
+        unreported impression; it fires even when no app is running. The
+        beacon's radio cost is charged at its actual firing time.
+        """
+        if not self._pending_reports:
+            return
+        due = self._pending_reports[0][1] + self.report_delay_s
+        if due < end:
+            beacon_at = max(due, now)
+            self.device.ad_fetch(beacon_at, self.report_bytes)
+            self._flush_reports(beacon_at, server)
+
+    def _maybe_beacon(self, now: float, server) -> None:
+        """Flush reports with a dedicated beacon once they grow stale.
+
+        This is the industry-standard batched impression beacon: it
+        costs a real radio transfer (cheap when the tail is still warm,
+        ~a full wakeup when not), bounding invalidation latency by
+        ``report_delay_s``.
+        """
+        if not self._pending_reports:
+            return
+        oldest = self._pending_reports[0][1]
+        if now - oldest >= self.report_delay_s:
+            self.device.ad_fetch(now, self.report_bytes)
+            self._flush_reports(now, server)

@@ -1,0 +1,68 @@
+"""S9 — the paper's contribution: show curves, overbooked dispatch,
+SLA and revenue settlement."""
+
+from .analysis import (
+    OverbookingOperatingPoint,
+    expected_duplicates,
+    marginal_value,
+    operating_point,
+    replicas_for_epsilon,
+    tradeoff_curve,
+    violation_probability,
+)
+from .overbooking import (
+    MIN_USEFUL_PROBABILITY,
+    ClientForecast,
+    DispatchPlan,
+    DispatchPolicy,
+    GreedyBackfillPolicy,
+    NoReplicationPolicy,
+    RandomKPolicy,
+    StaggeredPolicy,
+    make_policy,
+    policy_names,
+)
+from .revenue import RevenueReport, settle_revenue
+from .showcurve import (
+    BUCKET_EDGES,
+    MAX_DEPTH,
+    DispatchCurve,
+    ScaledShowCurve,
+    ShowCurveEstimator,
+    WindowedShowCurveEstimator,
+    poisson_tail,
+)
+from .sla import DisplayLog, SaleOutcome, SlaReport, settle_sla
+
+__all__ = [
+    "ShowCurveEstimator",
+    "WindowedShowCurveEstimator",
+    "DispatchCurve",
+    "ScaledShowCurve",
+    "poisson_tail",
+    "BUCKET_EDGES",
+    "MAX_DEPTH",
+    "ClientForecast",
+    "DispatchPlan",
+    "DispatchPolicy",
+    "StaggeredPolicy",
+    "GreedyBackfillPolicy",
+    "RandomKPolicy",
+    "NoReplicationPolicy",
+    "make_policy",
+    "policy_names",
+    "MIN_USEFUL_PROBABILITY",
+    "DisplayLog",
+    "SaleOutcome",
+    "SlaReport",
+    "settle_sla",
+    "RevenueReport",
+    "settle_revenue",
+    "replicas_for_epsilon",
+    "violation_probability",
+    "expected_duplicates",
+    "marginal_value",
+    "operating_point",
+    "OverbookingOperatingPoint",
+    "tradeoff_curve",
+]

@@ -1,0 +1,127 @@
+"""Closed-form overbooking analysis.
+
+The dispatch planner works numerically over empirical show curves; this
+module provides the matching closed-form results for the idealised
+i.i.d. case. They serve three purposes:
+
+* sanity cross-checks for the planner (the property tests compare its
+  output against these bounds),
+* quick capacity planning without a simulation (how many replicas does
+  a target epsilon cost at a given per-replica show probability?), and
+* the analytical statements of the paper's trade-off: replication buys
+  SLA compliance at a duplicate-impression price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def replicas_for_epsilon(p: float, epsilon: float,
+                         max_replicas: int | None = None) -> int:
+    """Minimum i.i.d. replicas with show probability ``p`` so that
+    ``P(no replica shows) = (1-p)^k <= epsilon``.
+
+    Returns ``max_replicas`` (if given) when the target is unreachable.
+
+    >>> replicas_for_epsilon(0.8, 0.01)
+    3
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if p == 1.0:
+        return 1
+    if p == 0.0:
+        if max_replicas is None:
+            raise ValueError("epsilon unreachable with p=0 and no cap")
+        return max_replicas
+    k = math.ceil(math.log(epsilon) / math.log(1.0 - p))
+    k = max(k, 1)
+    if max_replicas is not None:
+        k = min(k, max_replicas)
+    return k
+
+
+def violation_probability(ps: list[float]) -> float:
+    """``P(no replica shows)`` for independent replicas ``ps``."""
+    out = 1.0
+    for p in ps:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+        out *= (1.0 - p)
+    return out
+
+
+def expected_duplicates(ps: list[float]) -> float:
+    """Expected duplicate displays for independent replicas ``ps``.
+
+    ``E[dups] = E[#shown] - P(>=1 shown) = sum(p) - (1 - prod(1-p))``.
+
+    >>> round(expected_duplicates([0.9, 0.9]), 3)
+    0.81
+    """
+    shown = sum(ps)
+    return shown - (1.0 - violation_probability(ps))
+
+
+def marginal_value(p: float) -> float:
+    """Log-survival reduction per unit duplicate risk: ``-ln(1-p) / p``.
+
+    Increasing in ``p``: high-certainty positions are always the most
+    efficient insurance — the analytical reason the planner is
+    best-first.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    return -math.log(1.0 - p) / p
+
+
+@dataclass(frozen=True, slots=True)
+class OverbookingOperatingPoint:
+    """Closed-form operating point for homogeneous replicas."""
+
+    p: float
+    epsilon: float
+    k: int
+    achieved_violation: float
+    expected_duplicates: float
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Duplicates per sold impression."""
+        return self.expected_duplicates
+
+
+def operating_point(p: float, epsilon: float,
+                    max_replicas: int = 16) -> OverbookingOperatingPoint:
+    """Solve the homogeneous overbooking problem.
+
+    >>> pt = operating_point(0.8, 0.01)
+    >>> pt.k, round(pt.achieved_violation, 4)
+    (3, 0.008)
+    """
+    k = replicas_for_epsilon(p, epsilon, max_replicas)
+    ps = [p] * k
+    return OverbookingOperatingPoint(
+        p=p, epsilon=epsilon, k=k,
+        achieved_violation=violation_probability(ps),
+        expected_duplicates=expected_duplicates(ps),
+    )
+
+
+def tradeoff_curve(p: float, ks: range | list[int]
+                   ) -> list[tuple[int, float, float]]:
+    """``(k, violation, duplicates)`` across replica counts.
+
+    The analytical version of experiments E5/E6's twin figures.
+    """
+    out = []
+    for k in ks:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        ps = [p] * k
+        out.append((k, violation_probability(ps), expected_duplicates(ps)))
+    return out

@@ -1,0 +1,99 @@
+"""Revenue settlement.
+
+Money flows in the prefetch world:
+
+* a sale's first on-time display **bills** the advertiser at the
+  auction's clearing price;
+* a sale that misses its deadline is **voided** — the exchange earns
+  nothing for inventory it already sold (and eats the SLA penalty);
+* **duplicate** displays (overbooking's cost) fill a client slot with an
+  ad nobody pays for — a slot that, served in real time, would have
+  earned roughly the mean clearing price;
+* slots served by the **real-time fallback** (cache empty) bill
+  normally.
+
+Revenue loss is reported two ways: *internal* (voided + duplicate
+opportunity cost over potential revenue) and, in experiment E9,
+*cross-system* (1 − prefetch billed / real-time billed on the identical
+trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exchange.marketplace import Exchange
+
+from .sla import SaleOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class RevenueReport:
+    """Money outcome of a prefetch run."""
+
+    billed_prefetch: float        # on-time first displays
+    billed_fallback: float        # real-time fallback sales
+    voided: float                 # sold but violated
+    duplicate_impressions: int
+    duplicate_opportunity_cost: float
+    paid_impressions: int
+    fallback_impressions: int
+    unfilled_slots: int           # slots with neither cache nor fallback
+
+    @property
+    def total_billed(self) -> float:
+        return self.billed_prefetch + self.billed_fallback
+
+    @property
+    def potential(self) -> float:
+        """Revenue had every sold ad been shown exactly once on time."""
+        return (self.billed_prefetch + self.voided
+                + self.duplicate_opportunity_cost + self.billed_fallback)
+
+    @property
+    def internal_loss_rate(self) -> float:
+        """(voided + duplicate opportunity cost) / potential revenue."""
+        pot = self.potential
+        if pot <= 0:
+            return 0.0
+        return (self.voided + self.duplicate_opportunity_cost) / pot
+
+    def loss_vs(self, baseline_billed: float) -> float:
+        """Revenue loss relative to a real-time baseline's take."""
+        if baseline_billed <= 0:
+            return 0.0
+        return 1.0 - self.total_billed / baseline_billed
+
+
+def settle_revenue(outcomes: list[SaleOutcome], exchange: Exchange,
+                   billed_fallback: float, fallback_impressions: int,
+                   unfilled_slots: int) -> RevenueReport:
+    """Settle every sale with the exchange and build the report.
+
+    Duplicate opportunity cost uses the exchange's mean clearing price —
+    the expected earnings of the slot the duplicate occupied.
+    """
+    mean_price = exchange.mean_clearing_price()
+    billed = 0.0
+    voided = 0.0
+    duplicates = 0
+    paid = 0
+    for outcome in outcomes:
+        if outcome.on_time:
+            exchange.settle_shown(outcome.sale)
+            billed += outcome.sale.price
+            paid += 1
+        else:
+            exchange.settle_violated(outcome.sale)
+            voided += outcome.sale.price
+        duplicates += outcome.duplicates
+    return RevenueReport(
+        billed_prefetch=billed,
+        billed_fallback=billed_fallback,
+        voided=voided,
+        duplicate_impressions=duplicates,
+        duplicate_opportunity_cost=duplicates * mean_price,
+        paid_impressions=paid,
+        fallback_impressions=fallback_impressions,
+        unfilled_slots=unfilled_slots,
+    )

@@ -1,0 +1,113 @@
+"""SLA tracking: did every sold ad make its deadline?
+
+Ground truth lives in a :class:`DisplayLog` — every rendering of every
+prefetched ad, with timestamps. Settlement classifies each sale:
+
+* **on time** — first display at or before the deadline (billed);
+* **violated** — never displayed in time (the SLA violation the paper
+  bounds with epsilon);
+* duplicate displays beyond the first are counted for the revenue side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exchange.marketplace import Sale
+
+
+@dataclass(slots=True)
+class DisplayLog:
+    """Append-only record of prefetched-ad renderings."""
+
+    entries: list[tuple[int, str, float]] = field(default_factory=list)
+
+    def record(self, sale_id: int, client_id: str, time: float) -> None:
+        self.entries.append((sale_id, client_id, time))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_sale(self) -> dict[int, list[tuple[float, str]]]:
+        """sale_id -> time-sorted list of (time, client) displays."""
+        out: dict[int, list[tuple[float, str]]] = {}
+        for sale_id, client_id, time in self.entries:
+            out.setdefault(sale_id, []).append((time, client_id))
+        for displays in out.values():
+            displays.sort()
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class SaleOutcome:
+    """Settlement classification of one sale."""
+
+    sale: Sale
+    first_shown_at: float | None
+    n_displays: int
+
+    @property
+    def on_time(self) -> bool:
+        return (self.first_shown_at is not None
+                and self.first_shown_at <= self.sale.deadline)
+
+    @property
+    def violated(self) -> bool:
+        return not self.on_time
+
+    @property
+    def duplicates(self) -> int:
+        """Displays beyond the first (each one an unpaid impression)."""
+        return max(self.n_displays - 1, 0)
+
+    @property
+    def latency(self) -> float | None:
+        """Seconds from sale to first display (None if never shown)."""
+        if self.first_shown_at is None:
+            return None
+        return self.first_shown_at - self.sale.sold_at
+
+
+@dataclass(frozen=True, slots=True)
+class SlaReport:
+    """Aggregate SLA statistics over a run (rows of E5/E7/E9)."""
+
+    n_sales: int
+    n_on_time: int
+    n_violated: int
+    n_duplicates: int
+    mean_latency_s: float
+
+    @property
+    def violation_rate(self) -> float:
+        if self.n_sales == 0:
+            return 0.0
+        return self.n_violated / self.n_sales
+
+
+def settle_sla(sales: list[Sale], log: DisplayLog
+               ) -> tuple[list[SaleOutcome], SlaReport]:
+    """Classify every sale against the display log."""
+    displays = log.by_sale()
+    outcomes: list[SaleOutcome] = []
+    latencies: list[float] = []
+    n_on_time = 0
+    n_duplicates = 0
+    for sale in sales:
+        shown = displays.get(sale.sale_id, [])
+        first = shown[0][0] if shown else None
+        outcome = SaleOutcome(sale=sale, first_shown_at=first,
+                              n_displays=len(shown))
+        outcomes.append(outcome)
+        if outcome.on_time:
+            n_on_time += 1
+            latencies.append(outcome.latency or 0.0)
+        n_duplicates += outcome.duplicates
+    report = SlaReport(
+        n_sales=len(sales),
+        n_on_time=n_on_time,
+        n_violated=len(sales) - n_on_time,
+        n_duplicates=n_duplicates,
+        mean_latency_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+    )
+    return outcomes, report

@@ -1,0 +1,18 @@
+"""S7 — ad exchange: campaigns, second-price auctions, deferred billing."""
+
+from .auction import AuctionConfig, AuctionOutcome, run_auction, run_bulk_auctions
+from .campaign import ANY, Campaign, CampaignPoolConfig, build_campaigns
+from .marketplace import Exchange, Sale
+
+__all__ = [
+    "Campaign",
+    "CampaignPoolConfig",
+    "build_campaigns",
+    "ANY",
+    "AuctionConfig",
+    "AuctionOutcome",
+    "run_auction",
+    "run_bulk_auctions",
+    "Exchange",
+    "Sale",
+]

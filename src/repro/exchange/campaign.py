@@ -1,0 +1,142 @@
+"""Advertisers and campaigns.
+
+A campaign is a budgeted intent to buy impressions at some valuation.
+The reproduction does not need Microsoft's real demand curve — revenue
+loss is a *fraction* — but it does need heterogeneous valuations (so
+second-price auctions produce a non-degenerate price distribution) and
+budgets (so demand is finite and campaigns churn).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Targeting wildcard: campaign bids on every category/platform.
+ANY = "*"
+
+_campaign_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Campaign:
+    """One advertiser campaign.
+
+    Attributes
+    ----------
+    bid:
+        The campaign's per-impression valuation (currency units; think
+        CPM/1000).
+    budget:
+        Total spend cap; the campaign leaves the market once exhausted.
+    category / platform:
+        Targeting filters (:data:`ANY` matches everything).
+    creative_bytes:
+        Size of the ad creative the client must download.
+    """
+
+    campaign_id: str
+    advertiser: str
+    bid: float
+    budget: float
+    category: str = ANY
+    platform: str = ANY
+    creative_bytes: int = 4000
+    spent: float = field(default=0.0)
+    impressions: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.bid <= 0:
+            raise ValueError("bid must be positive")
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+
+    @property
+    def active(self) -> bool:
+        """A campaign bids while it can still afford its own bid.
+
+        Jittered clearing prices can slightly exceed the base bid, so a
+        small overspend remains possible — real networks overdeliver in
+        the same way.
+        """
+        return self.remaining_budget >= self.bid
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.budget - self.spent
+
+    def matches(self, category: str, platform: str) -> bool:
+        """Whether the campaign targets this slot context."""
+        return ((self.category == ANY or self.category == category)
+                and (self.platform == ANY or self.platform == platform))
+
+    def charge(self, price: float) -> None:
+        """Commit budget for a won impression at ``price``.
+
+        For sold-ahead impressions this happens at *sale* time — the
+        budget is committed while the outcome is pending — and
+        :meth:`refund` returns it if the impression is never delivered.
+        """
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        self.spent += price
+        self.impressions += 1
+
+    def refund(self, price: float) -> None:
+        """Return committed budget for an undelivered (voided) sale."""
+        if price < 0:
+            raise ValueError("price must be non-negative")
+        if price > self.spent:
+            raise ValueError("refund exceeds committed spend")
+        self.spent -= price
+        self.impressions -= 1
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignPoolConfig:
+    """Knobs for sampling a synthetic demand side."""
+
+    n_campaigns: int = 400
+    median_bid: float = 1.0
+    bid_sigma: float = 0.5
+    budget_median: float = 50_000.0
+    budget_sigma: float = 1.0
+    targeted_fraction: float = 0.3
+    categories: tuple[str, ...] = (
+        "game", "tool", "weather", "news", "social", "photo", "media",
+        "shopping")
+    creative_bytes_low: int = 2500
+    creative_bytes_high: int = 6000
+
+    def __post_init__(self) -> None:
+        if self.n_campaigns <= 0:
+            raise ValueError("n_campaigns must be positive")
+        if not 0.0 <= self.targeted_fraction <= 1.0:
+            raise ValueError("targeted_fraction must be in [0, 1]")
+
+
+def build_campaigns(config: CampaignPoolConfig,
+                    rng: np.random.Generator) -> list[Campaign]:
+    """Sample a campaign population with lognormal bids and budgets."""
+    campaigns = []
+    for _ in range(config.n_campaigns):
+        idx = next(_campaign_counter)
+        bid = float(rng.lognormal(np.log(config.median_bid), config.bid_sigma))
+        budget = float(rng.lognormal(np.log(config.budget_median),
+                                     config.budget_sigma))
+        if rng.random() < config.targeted_fraction:
+            category = str(rng.choice(config.categories))
+        else:
+            category = ANY
+        campaigns.append(Campaign(
+            campaign_id=f"c{idx:05d}",
+            advertiser=f"adv{idx % 97:03d}",
+            bid=bid,
+            budget=budget,
+            category=category,
+            creative_bytes=int(rng.integers(config.creative_bytes_low,
+                                            config.creative_bytes_high + 1)),
+        ))
+    return campaigns

@@ -1,0 +1,178 @@
+"""The ad exchange.
+
+Sits between the ad server and the demand side. Two selling paths exist:
+
+* :meth:`Exchange.sell_now` — the status-quo real-time path: a slot is
+  on screen *right now*, the auction clears, the winner is billed
+  immediately.
+* :meth:`Exchange.sell_ahead` — the paper's path: the ad server offers
+  inventory that is merely *predicted* to exist. The auction clears and
+  the winner's budget is committed immediately (so demand depletes the
+  same way it does under real-time selling), but *billing* is deferred
+  until the impression is actually rendered (:meth:`settle_shown`);
+  undelivered impressions are voided and refunded
+  (:meth:`settle_violated`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .auction import AuctionConfig, AuctionOutcome, run_auction, run_bulk_auctions
+from .campaign import ANY, Campaign
+
+
+@dataclass(frozen=True, slots=True)
+class Sale:
+    """One sold impression (a contract to display an ad)."""
+
+    sale_id: int
+    campaign_id: str
+    price: float
+    creative_bytes: int
+    sold_at: float
+    deadline: float           # show-by time; inf for real-time sales
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.deadline != float("inf")
+
+
+class Exchange:
+    """Marketplace facade over a campaign population.
+
+    Parameters
+    ----------
+    campaigns:
+        The demand side; campaigns drop out as budgets exhaust.
+    auction_config:
+        Mechanics shared by all auctions.
+    rng:
+        Dedicated random stream (bid jitter, bidder sampling).
+    """
+
+    def __init__(self, campaigns: list[Campaign],
+                 auction_config: AuctionConfig,
+                 rng: np.random.Generator) -> None:
+        self.campaigns = list(campaigns)
+        self.auction_config = auction_config
+        self.rng = rng
+        self._by_id = {c.campaign_id: c for c in self.campaigns}
+        if len(self._by_id) != len(self.campaigns):
+            raise ValueError("duplicate campaign ids")
+        self._sale_ids = itertools.count()
+        # Revenue ledger.
+        self.billed_revenue = 0.0        # actually collected
+        self.booked_revenue = 0.0        # sold (collected + pending + voided)
+        self.voided_revenue = 0.0        # sold but never shown (SLA misses)
+        self.sales_count = 0
+        self.unsold_count = 0
+
+    # ------------------------------------------------------------------
+    # Demand-side views
+    # ------------------------------------------------------------------
+
+    def eligible(self, category: str = ANY, platform: str = ANY) -> list[Campaign]:
+        """Active campaigns targeting the given slot context."""
+        return [c for c in self.campaigns
+                if c.active and c.matches(category, platform)]
+
+    def active_campaigns(self) -> int:
+        return sum(1 for c in self.campaigns if c.active)
+
+    def campaign(self, campaign_id: str) -> Campaign:
+        return self._by_id[campaign_id]
+
+    # ------------------------------------------------------------------
+    # Selling
+    # ------------------------------------------------------------------
+
+    def sell_now(self, now: float, category: str = ANY,
+                 platform: str = ANY) -> Sale | None:
+        """Real-time auction for a slot being displayed immediately.
+
+        The winner is billed on the spot (display is guaranteed).
+        Returns ``None`` when the auction does not clear.
+        """
+        outcome = run_auction(self.eligible(category, platform),
+                              self.auction_config, self.rng)
+        if not outcome.sold:
+            self.unsold_count += 1
+            return None
+        sale = self._record(outcome, now, deadline=float("inf"))
+        outcome.winner.charge(outcome.price)
+        self.billed_revenue += outcome.price
+        return sale
+
+    def sell_ahead(self, now: float, count: int, deadline: float,
+                   platform: str = ANY) -> list[Sale]:
+        """Auction ``count`` *predicted* impressions, show-by ``deadline``.
+
+        Predicted slots have no app context yet, so targeting is by
+        platform only. Billing is deferred to settlement. Unsold
+        predicted slots simply produce fewer sales than ``count``.
+        """
+        if deadline <= now:
+            raise ValueError("deadline must be after the sale time")
+        # Predicted slots have no app context yet; campaigns treat them
+        # as run-of-network inventory for the user's platform, so
+        # category targeting does not filter the bidder pool here.
+        eligible = [c for c in self.campaigns
+                    if c.active and (c.platform in (ANY, platform))]
+        outcomes = run_bulk_auctions(eligible, count,
+                                     self.auction_config, self.rng)
+        sales = []
+        for outcome in outcomes:
+            if not outcome.sold:
+                self.unsold_count += 1
+                continue
+            # Commit the budget now; billing waits for delivery.
+            outcome.winner.charge(outcome.price)
+            sales.append(self._record(outcome, now, deadline))
+        return sales
+
+    def _record(self, outcome: AuctionOutcome, now: float,
+                deadline: float) -> Sale:
+        sale = Sale(
+            sale_id=next(self._sale_ids),
+            campaign_id=outcome.winner.campaign_id,
+            price=outcome.price,
+            creative_bytes=outcome.winner.creative_bytes,
+            sold_at=now,
+            deadline=deadline,
+        )
+        self.booked_revenue += outcome.price
+        self.sales_count += 1
+        return sale
+
+    # ------------------------------------------------------------------
+    # Settlement (prefetch path only)
+    # ------------------------------------------------------------------
+
+    def settle_shown(self, sale: Sale) -> None:
+        """Bill a deferred sale: its impression was rendered in time.
+
+        The budget was already committed at sale time.
+        """
+        self.billed_revenue += sale.price
+
+    def settle_violated(self, sale: Sale) -> None:
+        """Void a deferred sale that missed its deadline (SLA violation).
+
+        The advertiser gets its committed budget back.
+        """
+        self._by_id[sale.campaign_id].refund(sale.price)
+        self.voided_revenue += sale.price
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def mean_clearing_price(self) -> float:
+        """Average booked price per sold impression."""
+        if self.sales_count == 0:
+            return 0.0
+        return self.booked_revenue / self.sales_count

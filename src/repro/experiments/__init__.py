@@ -1,0 +1,33 @@
+"""S12 — experiment harness and one runner per paper table/figure."""
+
+from .config import BENCH_SCALE, PAPER_SCALE, TEST_SCALE, ExperimentConfig
+from .harness import (
+    PrefetchArtifacts,
+    World,
+    clear_world_cache,
+    get_world,
+    run_headline,
+    run_prefetch,
+    run_prefetch_instrumented,
+    run_realtime,
+)
+from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_SCALE",
+    "BENCH_SCALE",
+    "TEST_SCALE",
+    "World",
+    "PrefetchArtifacts",
+    "get_world",
+    "clear_world_cache",
+    "run_prefetch",
+    "run_prefetch_instrumented",
+    "run_realtime",
+    "run_headline",
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_ids",
+    "run_experiment",
+]

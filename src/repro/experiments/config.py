@@ -1,0 +1,114 @@
+"""Experiment configuration.
+
+One frozen dataclass carries every knob an experiment can sweep; the
+experiment registry (``registry.py``) builds variations of a shared
+default so that sweeps differ in exactly the swept parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exchange.auction import AuctionConfig
+from repro.exchange.campaign import CampaignPoolConfig
+from repro.prediction.base import epochs_per_day
+from repro.server.adserver import ServerConfig
+from repro.workloads.population import PopulationConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Full parameterisation of one end-to-end run."""
+
+    # World.
+    seed: int = 7
+    n_users: int = 400
+    n_days: int = 10
+    train_days: int = 6
+    radio: str = "3g"
+    wifi_fraction: float = 0.0      # share of users on WiFi instead
+    median_sessions_per_day: float = 9.0
+    # Client model.
+    predictor: str = "ewma"
+    predictor_kwargs: dict = field(default_factory=dict, hash=False)
+    # Overbooking.
+    policy: str = "staggered"
+    policy_kwargs: dict = field(default_factory=dict, hash=False)
+    epsilon: float = 0.05
+    max_replicas: int = 1
+    # Server / epochs.
+    epoch_s: float = 3600.0
+    deadline_s: float = 14400.0
+    sell_factor: float = 0.75
+    rescue_batch: int = 4
+    rescue_horizon_s: float | None = None
+    standby_lag_s: float | None = None
+    report_delay_s: float = 900.0
+    fallback: str = "realtime"
+    capacity_factor: float = 3.0
+    capacity_slack: int = 8
+    # Marketplace.
+    n_campaigns: int = 300
+
+    def __post_init__(self) -> None:
+        if self.train_days <= 0 or self.train_days >= self.n_days:
+            raise ValueError("need 1 <= train_days < n_days")
+        if not 0.0 <= self.wifi_fraction <= 1.0:
+            raise ValueError("wifi_fraction must be in [0, 1]")
+        epochs_per_day(self.epoch_s)  # validates divisibility
+
+    @property
+    def test_days(self) -> int:
+        return self.n_days - self.train_days
+
+    def server_config(self) -> ServerConfig:
+        return ServerConfig(
+            epoch_s=self.epoch_s,
+            deadline_s=self.deadline_s,
+            epsilon=self.epsilon,
+            sell_factor=self.sell_factor,
+            rescue_batch=self.rescue_batch,
+            rescue_horizon_s=self.rescue_horizon_s,
+            standby_lag_s=self.standby_lag_s,
+            report_delay_s=self.report_delay_s,
+            capacity_factor=self.capacity_factor,
+            capacity_slack=self.capacity_slack,
+            fallback=self.fallback,
+        )
+
+    def population_config(self) -> PopulationConfig:
+        return PopulationConfig(
+            n_users=self.n_users,
+            median_sessions_per_day=self.median_sessions_per_day,
+        )
+
+    def campaign_config(self) -> CampaignPoolConfig:
+        return CampaignPoolConfig(n_campaigns=self.n_campaigns)
+
+    def auction_config(self) -> AuctionConfig:
+        return AuctionConfig()
+
+    def policy_kwargs_full(self) -> dict:
+        kwargs = dict(self.policy_kwargs)
+        kwargs.setdefault("epsilon", self.epsilon)
+        kwargs.setdefault("max_replicas", self.max_replicas)
+        return kwargs
+
+    def world_key(self) -> tuple:
+        """Key identifying the generated world (population + trace)."""
+        return (self.seed, self.n_users, self.n_days, self.radio,
+                self.wifi_fraction, self.median_sessions_per_day)
+
+    def variant(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+
+#: Paper-scale configuration: the full >1,700-user cohort.
+PAPER_SCALE = ExperimentConfig(n_users=1750, n_days=14, train_days=7)
+
+#: Bench-scale default: same shape, minutes not hours of wall clock.
+BENCH_SCALE = ExperimentConfig(n_users=400, n_days=10, train_days=6)
+
+#: Test-scale: seconds, for the integration test suite.
+TEST_SCALE = ExperimentConfig(n_users=40, n_days=6, train_days=3)

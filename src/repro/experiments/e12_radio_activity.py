@@ -1,0 +1,122 @@
+"""E12 — radio activity figure (wakeups and state residency).
+
+The mechanism behind the energy numbers, made visible: under real-time
+serving the radio is promoted for every rotation; under prefetching it
+wakes roughly once per active epoch. Uses a smaller population because
+state timelines are memory-hungry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.device import Device
+from repro.client.timeline import KIND_APP, KIND_APP_STREAM
+from repro.exchange.marketplace import Exchange
+from repro.metrics.summary import fmt_pct, format_table
+from repro.prediction.base import epochs_per_day
+from repro.radio.profiles import get_profile
+
+from .config import ExperimentConfig
+from .harness import get_world, run_prefetch_instrumented
+
+
+@dataclass(frozen=True, slots=True)
+class RadioActivityFigure:
+    """Wakeups/user/day and non-idle residency, both disciplines."""
+
+    realtime_wakeups_per_user_day: float
+    prefetch_wakeups_per_user_day: float
+    realtime_residency: dict[str, float]    # state -> share of horizon
+    prefetch_residency: dict[str, float]
+
+    @property
+    def wakeup_reduction(self) -> float:
+        if self.realtime_wakeups_per_user_day <= 0:
+            return 0.0
+        return 1.0 - (self.prefetch_wakeups_per_user_day
+                      / self.realtime_wakeups_per_user_day)
+
+    def render(self) -> str:
+        states = sorted(set(self.realtime_residency)
+                        | set(self.prefetch_residency))
+        rows = [("wakeups/user/day",
+                 f"{self.realtime_wakeups_per_user_day:.1f}",
+                 f"{self.prefetch_wakeups_per_user_day:.1f}")]
+        for state in states:
+            rows.append((f"residency:{state}",
+                         fmt_pct(self.realtime_residency.get(state, 0.0)),
+                         fmt_pct(self.prefetch_residency.get(state, 0.0))))
+        return format_table(
+            ["metric", "realtime", "prefetch"], rows,
+            title="E12: radio wakeups and state residency "
+                  f"(wakeup reduction {fmt_pct(self.wakeup_reduction, 1)})")
+
+
+def _residency_shares(devices, horizon_s: float) -> dict[str, float]:
+    total: dict[str, float] = {}
+    n = 0
+    for device in devices:
+        n += 1
+        for state, seconds in device.radio.state_residency().items():
+            total[state] = total.get(state, 0.0) + seconds
+    denom = max(n * horizon_s, 1.0)
+    return {state: seconds / denom for state, seconds in total.items()
+            if state != "idle"}
+
+
+def run_e12(config: ExperimentConfig | None = None) -> RadioActivityFigure:
+    """Replay a small population with full radio timelines."""
+    config = config or ExperimentConfig(n_users=40, n_days=6, train_days=3)
+    world = get_world(config)
+    profile = get_profile(config.radio)
+    per_day = epochs_per_day(config.epoch_s)
+    start = config.train_days * per_day * config.epoch_s
+    horizon = world.trace.horizon
+    window = horizon - start
+
+    # Prefetch side (instrumented, timelines kept).
+    artifacts = run_prefetch_instrumented(config, world,
+                                          keep_radio_timeline=True)
+    prefetch_devices = list(artifacts.devices.values())
+    prefetch_wakeups = artifacts.outcome.energy.wakeups_per_user_day()
+
+    # Real-time side, replayed with timeline-keeping devices.
+    from repro.exchange.campaign import build_campaigns
+    from repro.client.timeline import KIND_SLOT, KIND_SLOT_START
+    from repro.sim.rng import RngRegistry
+
+    registry = RngRegistry(config.seed)
+    exchange = Exchange(build_campaigns(config.campaign_config(),
+                                        registry.fresh("campaigns")),
+                        config.auction_config(),
+                        registry.fresh("exchange-e12"))
+    realtime_devices = []
+    wakeups = 0
+    for uid in sorted(world.timelines):
+        timeline = world.timelines[uid]
+        device = Device(uid, profile, keep_timeline=True)
+        realtime_devices.append(device)
+        times, kinds, payload = timeline.window(start, horizon)
+        for t, kind, p in zip(times, kinds, payload):
+            if kind in (KIND_SLOT, KIND_SLOT_START):
+                app = world.apps[int(p)]
+                sale = exchange.sell_now(float(t), category=app.category,
+                                         platform=timeline.platform)
+                if sale is not None:
+                    device.ad_fetch(float(t), sale.creative_bytes)
+            elif kind == KIND_APP:
+                device.app_request(float(t), int(p))
+            elif kind == KIND_APP_STREAM:
+                device.app_streaming(float(t), float(p))
+        device.finish(horizon)
+        wakeups += device.wakeups
+    days = window / 86400.0
+    realtime_wakeups = wakeups / max(len(realtime_devices) * days, 1.0)
+
+    return RadioActivityFigure(
+        realtime_wakeups_per_user_day=realtime_wakeups,
+        prefetch_wakeups_per_user_day=prefetch_wakeups,
+        realtime_residency=_residency_shares(realtime_devices, window),
+        prefetch_residency=_residency_shares(prefetch_devices, window),
+    )

@@ -1,0 +1,55 @@
+"""E2 — tail-energy amortisation (the paper's motivating figure).
+
+Energy per ad versus batch size: an isolated fetch pays promotion +
+transfer + the full two-stage tail; batching pays the fixed parts once.
+This figure is the entire case for prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.summary import format_table
+from repro.radio.energy import amortization_series
+from repro.radio.profiles import get_profile
+
+DEFAULT_BATCHES = (1, 2, 5, 10, 20, 40)
+DEFAULT_AD_BYTES = 4000
+
+
+@dataclass(frozen=True, slots=True)
+class TailEnergyFigure:
+    """Per-ad energy series for each radio technology."""
+
+    ad_bytes: int
+    batches: tuple[int, ...]
+    series: dict[str, list[tuple[int, float]]]   # radio -> [(batch, J/ad)]
+
+    def amortization_ratio(self, radio: str) -> float:
+        """Isolated-fetch energy over largest-batch per-ad energy."""
+        points = self.series[radio]
+        return points[0][1] / points[-1][1]
+
+    def render(self) -> str:
+        radios = sorted(self.series)
+        rows = []
+        for i, batch in enumerate(self.batches):
+            row = [str(batch)]
+            row.extend(f"{self.series[r][i][1]:.2f}" for r in radios)
+            rows.append(row)
+        return format_table(
+            ["batch"] + [f"{r} J/ad" for r in radios], rows,
+            title=f"E2: per-ad energy vs batch size ({self.ad_bytes} B "
+                  "creatives); isolated fetches are tail-dominated")
+
+
+def run_e2(ad_bytes: int = DEFAULT_AD_BYTES,
+           batches: tuple[int, ...] = DEFAULT_BATCHES,
+           radios: tuple[str, ...] = ("3g", "lte", "wifi")) -> TailEnergyFigure:
+    """Compute the amortisation curves."""
+    series = {
+        radio: amortization_series(get_profile(radio), ad_bytes, batches)
+        for radio in radios
+    }
+    return TailEnergyFigure(ad_bytes=ad_bytes, batches=tuple(batches),
+                            series=series)

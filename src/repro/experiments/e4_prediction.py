@@ -1,0 +1,58 @@
+"""E4 — client-model prediction accuracy (paper's predictor figure).
+
+Offline train/test evaluation of the whole predictor suite on the same
+trace geometry the live system uses (hourly epochs). The paper's point:
+simple habit-based models are good enough, because overbooking absorbs
+their residual error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.summary import format_table
+from repro.prediction.errors import ErrorSummary
+from repro.prediction.evaluate import EvaluationConfig, compare_models
+
+from .config import ExperimentConfig
+from .harness import get_world
+
+DEFAULT_MODELS = ("last_value", "global_mean", "time_of_day", "ewma",
+                  "markov", "quantile", "hybrid", "oracle")
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionFigure:
+    """Error summaries per model, sorted by MAE."""
+
+    summaries: list[ErrorSummary]
+
+    def summary_for(self, model: str) -> ErrorSummary:
+        for s in self.summaries:
+            if s.model == model:
+                return s
+        raise KeyError(model)
+
+    def render(self) -> str:
+        rows = [
+            (s.model, s.n, f"{s.mae:.2f}", f"{s.rmse:.2f}", f"{s.bias:+.2f}",
+             f"{s.over_rate:.2f}", f"{s.under_rate:.2f}",
+             f"{s.p90_abs_error:.1f}")
+            for s in self.summaries
+        ]
+        return format_table(
+            ["model", "n", "MAE", "RMSE", "bias", "over", "under", "p90|e|"],
+            rows,
+            title="E4: slot-prediction accuracy (hourly epochs, online)")
+
+
+def run_e4(config: ExperimentConfig | None = None,
+           models: tuple[str, ...] = DEFAULT_MODELS) -> PredictionFigure:
+    """Evaluate the predictor suite on the configured world."""
+    config = config or ExperimentConfig()
+    world = get_world(config)
+    eval_config = EvaluationConfig(epoch_s=config.epoch_s,
+                                   train_days=config.train_days)
+    summaries = compare_models(models, world.trace, world.refresh_of,
+                               eval_config)
+    return PredictionFigure(summaries=summaries)

@@ -1,0 +1,232 @@
+"""End-to-end run harness.
+
+Builds the world (population + trace + compiled timelines), then runs it
+under either serving discipline:
+
+* :func:`run_prefetch` — the paper's system: sell-ahead + overbooked
+  dispatch + local serving with real-time fallback.
+* :func:`run_realtime` — the status-quo baseline on the identical trace
+  window with an identically seeded (but independent) marketplace.
+
+Worlds are cached per configuration key so parameter sweeps that only
+touch the serving side re-use the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.realtime import run_realtime as _run_realtime_engine
+from repro.client.device import Device
+from repro.client.sdk import AdClient
+from repro.client.timeline import ClientTimeline, compile_timeline
+from repro.core.overbooking import make_policy
+from repro.exchange.campaign import build_campaigns
+from repro.exchange.marketplace import Exchange
+from repro.metrics.energy import aggregate_devices
+from repro.metrics.outcomes import (
+    Comparison,
+    PrefetchOutcome,
+    RealtimeOutcome,
+    compare,
+)
+from repro.prediction.base import epochs_per_day, make_predictor
+from repro.prediction.models import OraclePredictor
+from repro.radio.profiles import RadioProfile, get_profile
+from repro.server.adserver import AdServer
+from repro.sim.rng import RngRegistry
+from repro.traces.generator import TraceConfig, TraceGenerator
+from repro.traces.schema import Trace
+from repro.traces.stats import epoch_slot_counts, refresh_map
+from repro.workloads.appstore import TOP15, AppProfile
+from repro.workloads.population import build_population
+
+from .config import ExperimentConfig
+
+
+@dataclass(slots=True)
+class PrefetchArtifacts:
+    """Instrumented view of a prefetch run (experiments E12, tests)."""
+
+    outcome: PrefetchOutcome
+    devices: dict[str, Device]
+    clients: dict
+    server: AdServer
+
+
+@dataclass(slots=True)
+class World:
+    """A generated population, its trace, and compiled timelines."""
+
+    config_key: tuple
+    trace: Trace
+    apps: tuple[AppProfile, ...]
+    timelines: dict[str, ClientTimeline]
+    refresh_of: dict[str, float]
+    profile_of: dict[str, RadioProfile]
+
+
+_WORLD_CACHE: dict[tuple, World] = {}
+
+
+def get_world(config: ExperimentConfig,
+              apps: Sequence[AppProfile] = TOP15) -> World:
+    """Build (or fetch from cache) the world for ``config``."""
+    key = config.world_key()
+    cached = _WORLD_CACHE.get(key)
+    if cached is not None:
+        return cached
+    registry = RngRegistry(config.seed)
+    population = build_population(config.population_config(),
+                                  registry.stream("population"), tuple(apps))
+    generator = TraceGenerator(apps, TraceConfig(n_days=config.n_days),
+                               registry.stream("trace"))
+    trace = generator.generate(population)
+    base_profile = get_profile(config.radio)
+    wifi = get_profile("wifi")
+    assign_rng = registry.stream("radio-assignment")
+    profile_of: dict[str, RadioProfile] = {}
+    timelines: dict[str, ClientTimeline] = {}
+    for user in trace.sorted_users():
+        profile = (wifi if assign_rng.random() < config.wifi_fraction
+                   else base_profile)
+        profile_of[user.user_id] = profile
+        timelines[user.user_id] = compile_timeline(user, apps, profile)
+    world = World(
+        config_key=key,
+        trace=trace,
+        apps=tuple(apps),
+        timelines=timelines,
+        refresh_of=refresh_map(apps),
+        profile_of=profile_of,
+    )
+    _WORLD_CACHE[key] = world
+    return world
+
+
+def clear_world_cache() -> None:
+    """Drop cached worlds (tests that probe generation determinism)."""
+    _WORLD_CACHE.clear()
+
+
+def _build_exchange(config: ExperimentConfig, registry: RngRegistry,
+                    stream: str) -> Exchange:
+    campaigns = build_campaigns(config.campaign_config(),
+                                registry.fresh("campaigns"))
+    return Exchange(campaigns, config.auction_config(),
+                    registry.fresh(stream))
+
+
+def run_prefetch(config: ExperimentConfig,
+                 world: World | None = None) -> PrefetchOutcome:
+    """Run the full prefetch system over the test window."""
+    return run_prefetch_instrumented(config, world).outcome
+
+
+def run_prefetch_instrumented(config: ExperimentConfig,
+                              world: World | None = None,
+                              keep_radio_timeline: bool = False
+                              ) -> PrefetchArtifacts:
+    """Like :func:`run_prefetch`, but returns devices/clients/server too."""
+    world = world or get_world(config)
+    registry = RngRegistry(config.seed)
+    counts = epoch_slot_counts(world.trace, world.refresh_of, config.epoch_s)
+    per_day = epochs_per_day(config.epoch_s)
+    first_test = config.train_days * per_day
+    n_epochs = config.n_days * per_day
+
+    predictors = {}
+    for uid in counts:
+        predictor = make_predictor(config.predictor, config.epoch_s,
+                                   **config.predictor_kwargs)
+        if isinstance(predictor, OraclePredictor):
+            predictor.set_truth(counts[uid], start_epoch=0)
+        predictors[uid] = predictor
+
+    exchange = _build_exchange(config, registry, "exchange-prefetch")
+    policy = make_policy(config.policy, **config.policy_kwargs_full())
+    server = AdServer(config.server_config(), exchange, policy, predictors,
+                      registry.fresh("dispatch"))
+    server.warm_up({uid: counts[uid][:first_test] for uid in counts})
+
+    devices = {uid: Device(uid, world.profile_of[uid],
+                           keep_timeline=keep_radio_timeline)
+               for uid in world.timelines}
+    clients = {
+        uid: AdClient(world.timelines[uid], devices[uid], world.apps,
+                      report_delay_s=config.report_delay_s)
+        for uid in world.timelines
+    }
+
+    horizon = world.trace.horizon
+    for epoch in range(first_test, n_epochs):
+        now = epoch * config.epoch_s
+        window_end = min(now + config.epoch_s, horizon)
+        server.plan_epoch(epoch, now)
+        # Clients sync at their first slot; process in sync-time order so
+        # cross-client report visibility is chronological.
+        schedule: list[tuple[float, str]] = []
+        for uid, timeline in world.timelines.items():
+            times, _, _ = timeline.window(now, window_end)
+            if times.size == 0:
+                continue
+            first_slot = timeline.first_slot_in(now, window_end)
+            schedule.append((first_slot if first_slot is not None
+                             else float("inf"), uid))
+        schedule.sort()
+        scheduled = set()
+        for _, uid in schedule:
+            clients[uid].run_epoch(now, window_end, server)
+            scheduled.add(uid)
+        # Clients idle this epoch may still owe an impression beacon
+        # (background report timer).
+        for uid, client in clients.items():
+            if uid not in scheduled:
+                client.flush_overdue(now, window_end, server)
+        server.observe_epoch(epoch, {uid: int(counts[uid][epoch])
+                                     for uid in counts})
+
+    for device in devices.values():
+        device.finish(horizon)
+    _outcomes, sla, revenue = server.finalize()
+
+    cached = sum(c.stats.cached_displays for c in clients.values())
+    rescued = sum(c.stats.rescued_displays for c in clients.values())
+    fallback = sum(c.stats.fallback_displays for c in clients.values())
+    house = sum(c.stats.house_displays for c in clients.values())
+    wasted = sum(c.queue.stats.wasted + len(c.queue) for c in clients.values())
+    outcome = PrefetchOutcome(
+        energy=aggregate_devices(devices.values(), float(config.test_days)),
+        sla=sla,
+        revenue=revenue,
+        cached_displays=cached,
+        rescued_displays=rescued,
+        fallback_displays=fallback,
+        house_displays=house,
+        wasted_downloads=wasted,
+        mean_replication=server.mean_replication_factor(),
+        syncs=server.syncs,
+    )
+    return PrefetchArtifacts(outcome=outcome, devices=devices,
+                             clients=clients, server=server)
+
+
+def run_realtime(config: ExperimentConfig,
+                 world: World | None = None) -> RealtimeOutcome:
+    """Run the status-quo baseline over the same test window."""
+    world = world or get_world(config)
+    registry = RngRegistry(config.seed)
+    exchange = _build_exchange(config, registry, "exchange-realtime")
+    per_day = epochs_per_day(config.epoch_s)
+    start = config.train_days * per_day * config.epoch_s
+    return _run_realtime_engine(world.timelines, world.apps,
+                                world.profile_of, exchange, start,
+                                world.trace.horizon)
+
+
+def run_headline(config: ExperimentConfig,
+                 world: World | None = None) -> Comparison:
+    """Prefetch vs real-time on the identical trace (experiment E9)."""
+    world = world or get_world(config)
+    return compare(run_prefetch(config, world), run_realtime(config, world))

@@ -1,0 +1,29 @@
+"""S11 — energy/SLA/revenue aggregation and reporting."""
+
+from .battery import (
+    DEFAULT_BATTERY_WH,
+    BatteryImpact,
+    battery_impact,
+    savings_in_battery_terms,
+)
+from .energy import EnergyReport, aggregate_devices, energy_savings
+from .outcomes import Comparison, PrefetchOutcome, RealtimeOutcome, compare
+from .summary import fmt_pct, fmt_si, format_series, format_table
+
+__all__ = [
+    "EnergyReport",
+    "aggregate_devices",
+    "energy_savings",
+    "PrefetchOutcome",
+    "RealtimeOutcome",
+    "Comparison",
+    "compare",
+    "format_table",
+    "format_series",
+    "fmt_pct",
+    "fmt_si",
+    "BatteryImpact",
+    "battery_impact",
+    "savings_in_battery_terms",
+    "DEFAULT_BATTERY_WH",
+]

@@ -1,0 +1,65 @@
+"""Battery-impact translation.
+
+The paper motivates everything in battery-life terms; this module
+converts the simulator's joules into the numbers a user would feel:
+percent of a day's battery spent on ads, and hours of standby those
+joules would have bought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .energy import EnergyReport
+
+#: A 2012-class smartphone battery: 1500 mAh at 3.7 V nominal.
+DEFAULT_BATTERY_WH = 1.5 * 3.7
+JOULES_PER_WH = 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class BatteryImpact:
+    """Per-user-day battery cost of an energy report."""
+
+    joules_per_user_day: float
+    battery_wh: float
+
+    @property
+    def battery_joules(self) -> float:
+        return self.battery_wh * JOULES_PER_WH
+
+    @property
+    def percent_of_battery_per_day(self) -> float:
+        """Fraction of a full charge burned per day (0..1+)."""
+        return self.joules_per_user_day / self.battery_joules
+
+    def standby_hours_lost(self, standby_power_w: float = 0.025) -> float:
+        """Standby time the same energy would have provided.
+
+        ``standby_power_w`` is the phone's total idle draw (screen off,
+        radio idle) — ~25 mW for the era's hardware.
+        """
+        if standby_power_w <= 0:
+            raise ValueError("standby_power_w must be positive")
+        return self.joules_per_user_day / standby_power_w / 3600.0
+
+
+def battery_impact(report: EnergyReport,
+                   battery_wh: float = DEFAULT_BATTERY_WH) -> BatteryImpact:
+    """Battery impact of a run's *ad* energy."""
+    if battery_wh <= 0:
+        raise ValueError("battery_wh must be positive")
+    return BatteryImpact(
+        joules_per_user_day=report.ad_joules_per_user_day(),
+        battery_wh=battery_wh,
+    )
+
+
+def savings_in_battery_terms(prefetch: EnergyReport, realtime: EnergyReport,
+                             battery_wh: float = DEFAULT_BATTERY_WH
+                             ) -> tuple[BatteryImpact, BatteryImpact, float]:
+    """(prefetch impact, realtime impact, battery %/day saved)."""
+    before = battery_impact(realtime, battery_wh)
+    after = battery_impact(prefetch, battery_wh)
+    return after, before, (before.percent_of_battery_per_day
+                           - after.percent_of_battery_per_day)

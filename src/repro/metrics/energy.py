@@ -1,0 +1,73 @@
+"""Energy aggregation across a client population."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.client.device import Device
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Population-wide communication-energy outcome of a run."""
+
+    ad_joules: float
+    app_joules: float
+    wakeups: int
+    ad_bytes: int
+    app_bytes: int
+    n_users: int
+    days: float
+
+    @property
+    def communication_joules(self) -> float:
+        return self.ad_joules + self.app_joules
+
+    @property
+    def ad_share_of_communication(self) -> float:
+        """The paper's 65% number: ad energy / communication energy."""
+        total = self.communication_joules
+        if total <= 0:
+            return 0.0
+        return self.ad_joules / total
+
+    def ad_joules_per_user_day(self) -> float:
+        denom = self.n_users * self.days
+        return self.ad_joules / denom if denom > 0 else 0.0
+
+    def wakeups_per_user_day(self) -> float:
+        denom = self.n_users * self.days
+        return self.wakeups / denom if denom > 0 else 0.0
+
+
+def aggregate_devices(devices: Iterable[Device], days: float) -> EnergyReport:
+    """Sum per-device tagged energy into one report.
+
+    Devices must already be finalized (trailing tails settled).
+    """
+    ad = app = 0.0
+    wakeups = 0
+    ad_bytes = app_bytes = 0
+    n = 0
+    for device in devices:
+        ad += device.ad_energy()
+        app += device.app_energy()
+        wakeups += device.wakeups
+        ad_bytes += device.ad_bytes
+        app_bytes += device.app_bytes
+        n += 1
+    return EnergyReport(ad_joules=ad, app_joules=app, wakeups=wakeups,
+                        ad_bytes=ad_bytes, app_bytes=app_bytes,
+                        n_users=n, days=days)
+
+
+def energy_savings(prefetch_ad_joules: float,
+                   baseline_ad_joules: float) -> float:
+    """Fractional reduction of ad energy overhead vs the baseline.
+
+    The abstract's headline: this should exceed 0.5 at default settings.
+    """
+    if baseline_ad_joules <= 0:
+        return 0.0
+    return 1.0 - prefetch_ad_joules / baseline_ad_joules

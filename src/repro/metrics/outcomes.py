@@ -1,0 +1,87 @@
+"""Combined run outcomes and cross-system comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.revenue import RevenueReport
+from repro.core.sla import SlaReport
+
+from .energy import EnergyReport, energy_savings
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchOutcome:
+    """Everything a prefetch run produces (one E9 column)."""
+
+    energy: EnergyReport
+    sla: SlaReport
+    revenue: RevenueReport
+    cached_displays: int
+    rescued_displays: int
+    fallback_displays: int
+    house_displays: int
+    wasted_downloads: int
+    mean_replication: float
+    syncs: int
+
+    @property
+    def total_slots(self) -> int:
+        return (self.cached_displays + self.rescued_displays
+                + self.fallback_displays + self.house_displays)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Slots served without a dedicated creative fetch."""
+        total = self.total_slots
+        return self.cached_displays / total if total else 0.0
+
+    @property
+    def prefetch_served_rate(self) -> float:
+        """Slots that displayed a sold-ahead (prefetched) impression."""
+        total = self.total_slots
+        if not total:
+            return 0.0
+        return (self.cached_displays + self.rescued_displays) / total
+
+
+@dataclass(frozen=True, slots=True)
+class RealtimeOutcome:
+    """Everything the status-quo baseline produces."""
+
+    energy: EnergyReport
+    billed_revenue: float
+    impressions: int
+    unfilled_slots: int
+
+    @property
+    def total_slots(self) -> int:
+        return self.impressions + self.unfilled_slots
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """Prefetch vs real-time on the identical trace (the headline row)."""
+
+    energy_savings: float          # >0.5 is the paper's claim
+    revenue_loss: float            # ~negligible is the claim
+    sla_violation_rate: float      # ~negligible is the claim
+    wakeup_reduction: float
+    prefetch: PrefetchOutcome
+    realtime: RealtimeOutcome
+
+
+def compare(prefetch: PrefetchOutcome, realtime: RealtimeOutcome) -> Comparison:
+    """Build the headline comparison."""
+    wakeup_reduction = 0.0
+    if realtime.energy.wakeups > 0:
+        wakeup_reduction = 1.0 - prefetch.energy.wakeups / realtime.energy.wakeups
+    return Comparison(
+        energy_savings=energy_savings(prefetch.energy.ad_joules,
+                                      realtime.energy.ad_joules),
+        revenue_loss=prefetch.revenue.loss_vs(realtime.billed_revenue),
+        sla_violation_rate=prefetch.sla.violation_rate,
+        wakeup_reduction=wakeup_reduction,
+        prefetch=prefetch,
+        realtime=realtime,
+    )

@@ -1,0 +1,50 @@
+"""Plain-text tables for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal without pulling in a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def fmt_pct(x: float, digits: int = 2) -> str:
+    """0.1234 -> '12.34%'."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def fmt_si(x: float, unit: str = "", digits: int = 2) -> str:
+    """Scale a value with k/M/G suffixes: 12_345 -> '12.35k'."""
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(x) >= factor:
+            return f"{x / factor:.{digits}f}{suffix}{unit}"
+    return f"{x:.{digits}f}{unit}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, pairs: Iterable[tuple[object, object]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render a figure's (x, y) series as a two-column table."""
+    return format_table([x_label, y_label], pairs, title=name)

@@ -1,0 +1,63 @@
+"""S6 — client-side ad-slot predictors and their evaluation toolkit."""
+
+from .base import (
+    SlotPredictor,
+    epochs_per_day,
+    make_predictor,
+    predictor_names,
+    register_predictor,
+)
+from .errors import (
+    ErrorSummary,
+    PredictionLog,
+    error_cdf,
+    normalized_error,
+    summarize_log,
+)
+from .evaluate import (
+    EvaluationConfig,
+    build_user_predictors,
+    compare_models,
+    evaluate_model,
+    test_day_span,
+    train_test_epoch_counts,
+)
+from .models import (
+    EwmaTimeOfDayPredictor,
+    GlobalMeanPredictor,
+    HybridPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    QuantilePredictor,
+    TimeOfDayMeanPredictor,
+    ZeroPredictor,
+)
+
+__all__ = [
+    "SlotPredictor",
+    "register_predictor",
+    "make_predictor",
+    "predictor_names",
+    "epochs_per_day",
+    "ZeroPredictor",
+    "LastValuePredictor",
+    "GlobalMeanPredictor",
+    "TimeOfDayMeanPredictor",
+    "EwmaTimeOfDayPredictor",
+    "MarkovPredictor",
+    "QuantilePredictor",
+    "HybridPredictor",
+    "OraclePredictor",
+    "PredictionLog",
+    "ErrorSummary",
+    "summarize_log",
+    "error_cdf",
+    "normalized_error",
+    "EvaluationConfig",
+    "evaluate_model",
+    "compare_models",
+    "build_user_predictors",
+    "train_test_epoch_counts",
+    "test_day_span",
+]

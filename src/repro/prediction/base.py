@@ -1,0 +1,93 @@
+"""Predictor interface and registry.
+
+A *slot predictor* is the client-side model from the paper: given a
+user's history of ad-slot counts per epoch (e.g. per hour), predict how
+many slots the next epoch will surface. Predictions flow to the ad
+server, which sells that many future impressions in the exchange.
+
+Predictors are deliberately cheap — they must run on a phone — so the
+interface is a pure online one:
+
+* :meth:`SlotPredictor.observe` feeds the actual count of a finished
+  epoch (training and test alike), and
+* :meth:`SlotPredictor.predict` returns the expected count for an epoch.
+
+Epoch indices are absolute (epoch 0 starts at the trace origin); the
+epoch-of-day index, which carries the diurnal signal, is derived from
+``epochs_per_day``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.traces.schema import SECONDS_PER_DAY
+
+
+def epochs_per_day(epoch_s: float) -> int:
+    """Number of epochs per day; ``epoch_s`` must divide 24 h evenly."""
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive")
+    n = SECONDS_PER_DAY / epoch_s
+    if abs(n - round(n)) > 1e-9:
+        raise ValueError(f"epoch length {epoch_s}s must divide a day evenly")
+    return int(round(n))
+
+
+class SlotPredictor(ABC):
+    """Per-user online predictor of ad-slot counts per epoch."""
+
+    def __init__(self, epoch_s: float) -> None:
+        self.epoch_s = float(epoch_s)
+        self.epochs_per_day = epochs_per_day(epoch_s)
+
+    def epoch_of_day(self, epoch_index: int) -> int:
+        return epoch_index % self.epochs_per_day
+
+    @abstractmethod
+    def observe(self, epoch_index: int, actual: int) -> None:
+        """Record the true slot count of a completed epoch."""
+
+    @abstractmethod
+    def predict(self, epoch_index: int) -> float:
+        """Predicted slot count for ``epoch_index`` (non-negative float)."""
+
+    def warm_up(self, counts, start_epoch: int = 0) -> None:
+        """Feed a contiguous history of epoch counts (training phase)."""
+        for offset, actual in enumerate(counts):
+            self.observe(start_epoch + offset, int(actual))
+
+
+_REGISTRY: dict[str, Callable[[float], SlotPredictor]] = {}
+
+
+def register_predictor(name: str):
+    """Class decorator registering a predictor under ``name``.
+
+    Registered constructors must accept ``epoch_s`` as their sole
+    required argument so experiments can build any model from a string.
+    """
+    def decorator(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate predictor name {name!r}")
+        _REGISTRY[name] = cls
+        cls.registry_name = name
+        return cls
+    return decorator
+
+
+def make_predictor(name: str, epoch_s: float, **kwargs) -> SlotPredictor:
+    """Instantiate a registered predictor by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(epoch_s, **kwargs)
+
+
+def predictor_names() -> list[str]:
+    """All registered predictor names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,98 @@
+"""Prediction-error bookkeeping and metrics.
+
+The overbooking model consumes *distributions* of prediction error, not
+point accuracy, so this module keeps raw ``(predicted, actual)`` pairs
+and derives whatever view a consumer needs: residual CDFs for the E4
+figure, under/over-prediction rates, and normalised errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class PredictionLog:
+    """Accumulates (predicted, actual) pairs for one model."""
+
+    model: str
+    predicted: list[float] = field(default_factory=list)
+    actual: list[int] = field(default_factory=list)
+
+    def record(self, predicted: float, actual: int) -> None:
+        if predicted < 0:
+            raise ValueError("predictions must be non-negative")
+        self.predicted.append(float(predicted))
+        self.actual.append(int(actual))
+
+    def __len__(self) -> int:
+        return len(self.predicted)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.asarray(self.predicted, dtype=float),
+                np.asarray(self.actual, dtype=float))
+
+    def residuals(self) -> np.ndarray:
+        """``predicted - actual`` (positive = over-prediction)."""
+        pred, act = self.arrays()
+        return pred - act
+
+    def merged(self, other: "PredictionLog") -> "PredictionLog":
+        """Pool two logs of the same model (e.g. across users)."""
+        if other.model != self.model:
+            raise ValueError("cannot merge logs of different models")
+        out = PredictionLog(self.model)
+        out.predicted = self.predicted + other.predicted
+        out.actual = self.actual + other.actual
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Point metrics of a prediction log (one row of the E4 table)."""
+
+    model: str
+    n: int
+    mae: float
+    rmse: float
+    bias: float                  # mean(predicted - actual)
+    over_rate: float             # fraction predicted > actual
+    under_rate: float            # fraction predicted < actual
+    exact_rate: float            # fraction round(predicted) == actual
+    p90_abs_error: float
+
+
+def summarize_log(log: PredictionLog) -> ErrorSummary:
+    """Compute :class:`ErrorSummary` for a non-empty log."""
+    if len(log) == 0:
+        raise ValueError("empty prediction log")
+    pred, act = log.arrays()
+    resid = pred - act
+    abs_resid = np.abs(resid)
+    return ErrorSummary(
+        model=log.model,
+        n=len(log),
+        mae=float(abs_resid.mean()),
+        rmse=float(np.sqrt((resid ** 2).mean())),
+        bias=float(resid.mean()),
+        over_rate=float((resid > 0.5).mean()),
+        under_rate=float((resid < -0.5).mean()),
+        exact_rate=float((np.round(pred) == act).mean()),
+        p90_abs_error=float(np.percentile(abs_resid, 90)),
+    )
+
+
+def error_cdf(log: PredictionLog) -> tuple[np.ndarray, np.ndarray]:
+    """Absolute-error CDF: (sorted |error| values, cumulative prob)."""
+    if len(log) == 0:
+        raise ValueError("empty prediction log")
+    v = np.sort(np.abs(log.residuals()))
+    return v, np.arange(1, v.size + 1) / v.size
+
+
+def normalized_error(log: PredictionLog) -> np.ndarray:
+    """``(predicted - actual) / max(actual, 1)`` — scale-free residuals."""
+    pred, act = log.arrays()
+    return (pred - act) / np.maximum(act, 1.0)

@@ -1,0 +1,90 @@
+"""Offline predictor evaluation over a trace (experiment E4).
+
+Walks a trace epoch by epoch: the first ``train_days`` warm each user's
+model; on every test epoch the model predicts first, then observes the
+truth (standard online evaluation, no leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.schema import SECONDS_PER_DAY, Trace
+from repro.traces.stats import epoch_slot_counts
+
+from .base import SlotPredictor, epochs_per_day, make_predictor
+from .errors import ErrorSummary, PredictionLog, summarize_log
+from .models import OraclePredictor
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluationConfig:
+    """Train/test split and epoch geometry for offline evaluation."""
+
+    epoch_s: float = 3600.0
+    train_days: int = 7
+
+    def __post_init__(self) -> None:
+        if self.train_days <= 0:
+            raise ValueError("train_days must be positive")
+        epochs_per_day(self.epoch_s)  # validates divisibility
+
+
+def build_user_predictors(model: str, user_ids, epoch_s: float,
+                          **kwargs) -> dict[str, SlotPredictor]:
+    """One fresh predictor instance per user."""
+    return {uid: make_predictor(model, epoch_s, **kwargs) for uid in user_ids}
+
+
+def evaluate_model(model: str, trace: Trace, refresh_of: dict[str, float],
+                   config: EvaluationConfig, **kwargs) -> PredictionLog:
+    """Run one model over the whole population; returns the pooled log."""
+    counts = epoch_slot_counts(trace, refresh_of, config.epoch_s)
+    per_day = epochs_per_day(config.epoch_s)
+    train_epochs = config.train_days * per_day
+    if train_epochs >= trace.n_days * per_day:
+        raise ValueError("train_days leaves no test epochs")
+    log = PredictionLog(model)
+    for uid, series in counts.items():
+        predictor = make_predictor(model, config.epoch_s, **kwargs)
+        if isinstance(predictor, OraclePredictor):
+            predictor.set_truth(series, start_epoch=0)
+        predictor.warm_up(series[:train_epochs], start_epoch=0)
+        for epoch in range(train_epochs, series.size):
+            predicted = predictor.predict(epoch)
+            actual = int(series[epoch])
+            log.record(predicted, actual)
+            predictor.observe(epoch, actual)
+    return log
+
+
+def compare_models(models, trace: Trace, refresh_of: dict[str, float],
+                   config: EvaluationConfig) -> list[ErrorSummary]:
+    """Evaluate several models; returns summaries sorted by MAE."""
+    summaries = [
+        summarize_log(evaluate_model(m, trace, refresh_of, config))
+        for m in models
+    ]
+    summaries.sort(key=lambda s: s.mae)
+    return summaries
+
+
+def train_test_epoch_counts(trace: Trace, refresh_of: dict[str, float],
+                            config: EvaluationConfig
+                            ) -> tuple[dict[str, np.ndarray], int]:
+    """Per-user epoch count series plus the index of the first test epoch.
+
+    Convenience for end-to-end simulations that need the same geometry
+    as offline evaluation.
+    """
+    counts = epoch_slot_counts(trace, refresh_of, config.epoch_s)
+    first_test = config.train_days * epochs_per_day(config.epoch_s)
+    return counts, first_test
+
+
+def test_day_span(config: EvaluationConfig, trace: Trace) -> tuple[float, float]:
+    """(start, end) simulated seconds of the test portion of a trace."""
+    start = config.train_days * SECONDS_PER_DAY
+    return start, trace.horizon

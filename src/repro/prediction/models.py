@@ -1,0 +1,250 @@
+"""The predictor suite.
+
+The paper's finding is that *simple* client models suffice because the
+overbooking layer absorbs their error; the suite spans the natural
+design space from trivial (last value) to structured (time-of-day EWMA,
+Markov) plus an oracle upper bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .base import SlotPredictor, register_predictor
+
+
+@register_predictor("zero")
+class ZeroPredictor(SlotPredictor):
+    """Always predicts zero slots (disables prefetching)."""
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        pass
+
+    def predict(self, epoch_index: int) -> float:
+        return 0.0
+
+
+@register_predictor("last_value")
+class LastValuePredictor(SlotPredictor):
+    """Predicts the most recently observed epoch's count.
+
+    Captures short-term burstiness but is blind to time of day: a busy
+    evening epoch predicts a busy overnight epoch.
+    """
+
+    def __init__(self, epoch_s: float) -> None:
+        super().__init__(epoch_s)
+        self._last = 0
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        self._last = actual
+
+    def predict(self, epoch_index: int) -> float:
+        return float(self._last)
+
+
+@register_predictor("global_mean")
+class GlobalMeanPredictor(SlotPredictor):
+    """Running mean over all observed epochs (no diurnal structure)."""
+
+    def __init__(self, epoch_s: float) -> None:
+        super().__init__(epoch_s)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        self._sum += actual
+        self._count += 1
+
+    def predict(self, epoch_index: int) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+
+@register_predictor("time_of_day")
+class TimeOfDayMeanPredictor(SlotPredictor):
+    """Mean count for the same epoch-of-day across all observed days.
+
+    The paper's core observation — phone use is diurnal and habitual —
+    makes this the natural reference model.
+    """
+
+    def __init__(self, epoch_s: float) -> None:
+        super().__init__(epoch_s)
+        self._sums = np.zeros(self.epochs_per_day)
+        self._counts = np.zeros(self.epochs_per_day, dtype=np.int64)
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        eod = self.epoch_of_day(epoch_index)
+        self._sums[eod] += actual
+        self._counts[eod] += 1
+
+    def predict(self, epoch_index: int) -> float:
+        eod = self.epoch_of_day(epoch_index)
+        if self._counts[eod] == 0:
+            return 0.0
+        return float(self._sums[eod] / self._counts[eod])
+
+
+@register_predictor("ewma")
+class EwmaTimeOfDayPredictor(SlotPredictor):
+    """Per-epoch-of-day exponentially weighted moving average.
+
+    Like :class:`TimeOfDayMeanPredictor` but adapts when habits drift;
+    ``alpha`` is the weight of the newest observation.
+    """
+
+    def __init__(self, epoch_s: float, alpha: float = 0.3) -> None:
+        super().__init__(epoch_s)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._values = np.zeros(self.epochs_per_day)
+        self._seen = np.zeros(self.epochs_per_day, dtype=bool)
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        eod = self.epoch_of_day(epoch_index)
+        if self._seen[eod]:
+            self._values[eod] = (self.alpha * actual
+                                 + (1.0 - self.alpha) * self._values[eod])
+        else:
+            self._values[eod] = actual
+            self._seen[eod] = True
+
+    def predict(self, epoch_index: int) -> float:
+        eod = self.epoch_of_day(epoch_index)
+        return float(self._values[eod]) if self._seen[eod] else 0.0
+
+
+@register_predictor("markov")
+class MarkovPredictor(SlotPredictor):
+    """First-order Markov chain over discretised activity levels.
+
+    Counts are bucketed into geometric bins; the model predicts the
+    expected bin midpoint of the next epoch given the current bin,
+    blended with the time-of-day mean to anchor the diurnal signal.
+    """
+
+    BINS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+    def __init__(self, epoch_s: float, blend: float = 0.5) -> None:
+        super().__init__(epoch_s)
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must be in [0, 1]")
+        self.blend = blend
+        n = len(self.BINS)
+        self._transitions = np.zeros((n, n), dtype=np.int64)
+        self._state = 0
+        self._tod = TimeOfDayMeanPredictor(epoch_s)
+
+    def _bin_of(self, count: int) -> int:
+        for idx in range(len(self.BINS) - 1, -1, -1):
+            if count >= self.BINS[idx]:
+                return idx
+        return 0
+
+    def _midpoint(self, idx: int) -> float:
+        lo = self.BINS[idx]
+        hi = self.BINS[idx + 1] if idx + 1 < len(self.BINS) else lo * 1.5
+        if idx == 0:
+            return 0.0
+        return (lo + max(hi - 1, lo)) / 2.0
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        new_state = self._bin_of(actual)
+        self._transitions[self._state, new_state] += 1
+        self._state = new_state
+        self._tod.observe(epoch_index, actual)
+
+    def predict(self, epoch_index: int) -> float:
+        row = self._transitions[self._state]
+        total = row.sum()
+        tod = self._tod.predict(epoch_index)
+        if total == 0:
+            return tod
+        probs = row / total
+        markov = float(sum(p * self._midpoint(i) for i, p in enumerate(probs)))
+        return self.blend * markov + (1.0 - self.blend) * tod
+
+
+@register_predictor("quantile")
+class QuantilePredictor(SlotPredictor):
+    """Predicts a configurable percentile of the same-epoch-of-day history.
+
+    ``q`` below 0.5 is deliberately conservative (under-predicts), which
+    trades SLA headroom for fewer wasted prefetches; the overbooking
+    ablation uses it to probe that trade-off.
+    """
+
+    def __init__(self, epoch_s: float, q: float = 0.5,
+                 max_history: int = 60) -> None:
+        super().__init__(epoch_s)
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = q
+        self.max_history = max_history
+        self._history: dict[int, list[int]] = defaultdict(list)
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        bucket = self._history[self.epoch_of_day(epoch_index)]
+        bucket.append(actual)
+        if len(bucket) > self.max_history:
+            del bucket[0]
+
+    def predict(self, epoch_index: int) -> float:
+        bucket = self._history.get(self.epoch_of_day(epoch_index))
+        if not bucket:
+            return 0.0
+        return float(np.quantile(np.array(bucket), self.q))
+
+
+@register_predictor("hybrid")
+class HybridPredictor(SlotPredictor):
+    """Convex blend of time-of-day mean and last value.
+
+    Time-of-day carries the habit; last value carries the current mood
+    (an ongoing gaming binge raises the short-term forecast).
+    """
+
+    def __init__(self, epoch_s: float, weight_tod: float = 0.7) -> None:
+        super().__init__(epoch_s)
+        if not 0.0 <= weight_tod <= 1.0:
+            raise ValueError("weight_tod must be in [0, 1]")
+        self.weight_tod = weight_tod
+        self._tod = TimeOfDayMeanPredictor(epoch_s)
+        self._last = LastValuePredictor(epoch_s)
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        self._tod.observe(epoch_index, actual)
+        self._last.observe(epoch_index, actual)
+
+    def predict(self, epoch_index: int) -> float:
+        return (self.weight_tod * self._tod.predict(epoch_index)
+                + (1.0 - self.weight_tod) * self._last.predict(epoch_index))
+
+
+@register_predictor("oracle")
+class OraclePredictor(SlotPredictor):
+    """Knows the future — the error-free upper bound for ablations.
+
+    The truth is installed with :meth:`set_truth` before the run.
+    """
+
+    def __init__(self, epoch_s: float) -> None:
+        super().__init__(epoch_s)
+        self._truth: dict[int, int] = {}
+
+    def set_truth(self, counts, start_epoch: int = 0) -> None:
+        for offset, actual in enumerate(counts):
+            self._truth[start_epoch + offset] = int(actual)
+
+    def observe(self, epoch_index: int, actual: int) -> None:
+        # Record anyway: keeps the oracle correct even for epochs the
+        # caller never pre-installed.
+        self._truth[epoch_index] = actual
+
+    def predict(self, epoch_index: int) -> float:
+        return float(self._truth.get(epoch_index, 0))

@@ -1,0 +1,44 @@
+"""S2 — cellular/WiFi radio energy model (RRC states, tails, attribution)."""
+
+from .energy import (
+    amortization_series,
+    batched_fetch_energy,
+    energy_of_schedule,
+    energy_per_ad,
+    periodic_fetch_energy,
+)
+from .profiles import (LTE, PROFILES, THREE_G, THREE_G_FAST_DORMANCY, WIFI,
+                       RadioProfile, get_profile)
+from .statemachine import (
+    STATE_ACTIVE,
+    STATE_HIGH_TAIL,
+    STATE_IDLE,
+    STATE_LOW_TAIL,
+    STATE_PROMO,
+    RadioStateMachine,
+    StateInterval,
+    TransferRecord,
+)
+
+__all__ = [
+    "RadioProfile",
+    "get_profile",
+    "THREE_G",
+    "THREE_G_FAST_DORMANCY",
+    "LTE",
+    "WIFI",
+    "PROFILES",
+    "RadioStateMachine",
+    "TransferRecord",
+    "StateInterval",
+    "STATE_IDLE",
+    "STATE_PROMO",
+    "STATE_ACTIVE",
+    "STATE_HIGH_TAIL",
+    "STATE_LOW_TAIL",
+    "energy_of_schedule",
+    "periodic_fetch_energy",
+    "batched_fetch_energy",
+    "energy_per_ad",
+    "amortization_series",
+]

@@ -1,0 +1,76 @@
+"""Closed-form and replay-based energy helpers.
+
+These wrap :class:`~repro.radio.statemachine.RadioStateMachine` for the
+access patterns the paper reasons about: isolated periodic ad fetches
+(the status quo) versus one batched prefetch per epoch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .profiles import RadioProfile
+from .statemachine import RadioStateMachine
+
+
+def energy_of_schedule(profile: RadioProfile,
+                       fetches: Iterable[tuple[float, int, str]],
+                       horizon: float | None = None) -> dict[str, float]:
+    """Replay ``(time, nbytes, tag)`` fetches and return energy per tag.
+
+    Fetches must be sorted by time. The result maps each tag to its
+    marginal communication energy in joules.
+    """
+    machine = RadioStateMachine(profile)
+    for when, nbytes, tag in fetches:
+        machine.transfer(when, nbytes, tag)
+    machine.finalize(horizon)
+    return machine.energy_by_tag()
+
+
+def periodic_fetch_energy(profile: RadioProfile, nbytes: int, period: float,
+                          count: int) -> float:
+    """Energy of ``count`` fetches of ``nbytes`` spaced ``period`` apart.
+
+    This is the status-quo ad-refresh pattern: if ``period`` exceeds the
+    tail, every fetch pays the full promotion + tail.
+    """
+    if count <= 0:
+        return 0.0
+    fetches = [(i * period, nbytes, "ad") for i in range(count)]
+    return energy_of_schedule(profile, fetches)["ad"]
+
+
+def batched_fetch_energy(profile: RadioProfile, nbytes: int, batch: int) -> float:
+    """Energy of downloading ``batch`` payloads back-to-back.
+
+    One promotion, ``batch`` transfer times, one tail — the prefetch
+    pattern. Returns total joules for the batch.
+    """
+    if batch <= 0:
+        return 0.0
+    machine = RadioStateMachine(profile)
+    when = 0.0
+    for _ in range(batch):
+        rec = machine.transfer(when, nbytes, "ad")
+        when = rec.end_time
+    machine.finalize()
+    return machine.energy_by_tag()["ad"]
+
+
+def energy_per_ad(profile: RadioProfile, nbytes: int, batch: int) -> float:
+    """Per-ad energy when ads are fetched in batches of ``batch``.
+
+    The curve of this function over ``batch`` is experiment E2: it falls
+    steeply from the isolated-fetch cost toward the pure transfer cost as
+    the promotion and tail amortise.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    return batched_fetch_energy(profile, nbytes, batch) / batch
+
+
+def amortization_series(profile: RadioProfile, nbytes: int,
+                        batches: Sequence[int]) -> list[tuple[int, float]]:
+    """``(batch, per-ad joules)`` series across batch sizes (E2 helper)."""
+    return [(b, energy_per_ad(profile, nbytes, b)) for b in batches]

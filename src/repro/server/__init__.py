@@ -1,0 +1,5 @@
+"""S8 — the prefetching ad server (sell-ahead, dispatch, reconciliation)."""
+
+from .adserver import AdServer, EpochPlanStats, ServerConfig, SyncResponse
+
+__all__ = ["AdServer", "ServerConfig", "SyncResponse", "EpochPlanStats"]

@@ -1,0 +1,395 @@
+"""The ad server.
+
+Orchestrates the paper's three-party protocol with minimal changes to
+the existing architecture:
+
+1. **Predict.** Per-client slot predictors (mirrored server-side from
+   client reports) forecast the next epoch's inventory.
+2. **Sell ahead.** The predicted inventory is auctioned in the exchange
+   *before it exists*, with a show-by deadline.
+3. **Overbook.** Sold ads are replicated across clients by the dispatch
+   policy so each meets its SLA target despite prediction error.
+4. **Reconcile.** Client syncs (piggybacked on prefetch downloads)
+   report displays; the server invalidates replicas of already-shown
+   ads and bills/voids sales at settlement.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.overbooking import Assignment, ClientForecast, DispatchPolicy
+from repro.core.revenue import RevenueReport, settle_revenue
+from repro.core.showcurve import DispatchCurve, WindowedShowCurveEstimator
+from repro.core.sla import DisplayLog, SaleOutcome, SlaReport, settle_sla
+from repro.exchange.marketplace import Exchange, Sale
+from repro.prediction.base import SlotPredictor
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Prefetch-system configuration (the knobs the paper sweeps)."""
+
+    epoch_s: float = 3600.0          # prefetch/planning period T
+    deadline_s: float = 14400.0      # show-by deadline D (>= T)
+    epsilon: float = 0.05            # per-sale SLA violation target
+    sell_factor: float = 0.8         # sold inventory / predicted inventory
+    capacity_factor: float = 2.0     # max new ads per client, x predicted
+    capacity_slack: int = 4          # ... plus this constant
+    control_bytes: int = 400         # sync protocol overhead per sync
+    report_delay_s: float = 900.0    # max impression-beacon batching delay
+    report_bytes: int = 200          # impression beacon payload
+    rescue_batch: int = 4            # at-risk sales re-replicated per dry slot
+    standby_lag_s: float | None = None  # backup-replica activation delay
+                                        # (defaults to one epoch)
+    rescue_horizon_s: float | None = None  # rescue window before deadline
+                                           # (defaults to one epoch)
+    fallback: str = "realtime"       # cache-miss policy: realtime | house
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        if self.deadline_s < self.epoch_s:
+            raise ValueError("deadline_s must be >= epoch_s "
+                             "(sell more often for shorter deadlines)")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if self.sell_factor <= 0:
+            raise ValueError("sell_factor must be positive")
+        if self.fallback not in ("realtime", "house"):
+            raise ValueError("fallback must be 'realtime' or 'house'")
+
+    @property
+    def standby_lag(self) -> float:
+        """Grace period before backup replicas become displayable."""
+        return (self.standby_lag_s if self.standby_lag_s is not None
+                else self.epoch_s)
+
+    @property
+    def rescue_horizon(self) -> float:
+        """Only sales this close to their deadline are rescued.
+
+        Default: everything but the first epoch of the deadline window —
+        the statically planned replicas get one clean epoch before the
+        demand-driven safety net starts competing with them.
+        """
+        if self.rescue_horizon_s is not None:
+            return self.rescue_horizon_s
+        return max(self.epoch_s, self.deadline_s - self.epoch_s)
+
+    @property
+    def sla_window(self) -> int:
+        """Deadline window length in whole epochs."""
+        return max(1, int(round(self.deadline_s / self.epoch_s)))
+
+
+@dataclass(frozen=True, slots=True)
+class SyncResponse:
+    """What a client receives when it checks in."""
+
+    assignments: list[Assignment]
+    invalidated_ids: set[int]
+    nbytes: int
+
+
+@dataclass(slots=True)
+class EpochPlanStats:
+    """Per-epoch planning telemetry."""
+
+    epoch_index: int
+    predicted_total: float
+    sold: int
+    assignments: int
+    replication_factor: float
+    expected_violation: float
+    unplaced: int
+
+
+@dataclass(slots=True)
+class _ClientState:
+    """Server-side view of one client."""
+
+    predictor: SlotPredictor
+    last_prediction: float = 0.0
+    pending: list[Assignment] = field(default_factory=list)  # planned, undelivered
+    delivered_unshown: dict[int, float] = field(default_factory=dict)  # id -> deadline
+
+
+class AdServer:
+    """The prefetching ad server."""
+
+    def __init__(self, config: ServerConfig, exchange: Exchange,
+                 policy: DispatchPolicy,
+                 predictors: dict[str, SlotPredictor],
+                 rng: np.random.Generator,
+                 curve: WindowedShowCurveEstimator | None = None) -> None:
+        self.config = config
+        self.exchange = exchange
+        self.policy = policy
+        self.rng = rng
+        if curve is None:
+            curve = WindowedShowCurveEstimator(max_window=config.sla_window)
+        if curve.max_window < config.sla_window:
+            raise ValueError("show-curve window shorter than the deadline")
+        self.curve = curve
+        self._dispatch_curve = DispatchCurve(curve, config.sla_window)
+        self._clients = {uid: _ClientState(predictor=p)
+                         for uid, p in predictors.items()}
+        # Ground truth and protocol state.
+        self.display_log = DisplayLog()
+        self.shown_set: set[int] = set()      # known via reports only
+        self.all_sales: list[Sale] = []
+        self._sale_owners: dict[int, set[str]] = {}
+        self._at_risk: list[tuple[float, int, Sale]] = []  # (deadline,) heap
+        self._last_contact: dict[str, float] = {}
+        self._revoked: dict[str, set[int]] = {}
+        self.rescues = 0
+        self.plan_stats: list[EpochPlanStats] = []
+        # Fallback accounting.
+        self.fallback_billed = 0.0
+        self.fallback_impressions = 0
+        self.unfilled_slots = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Model training / updates
+    # ------------------------------------------------------------------
+
+    def warm_up(self, train_counts: dict[str, np.ndarray],
+                start_epoch: int = 0) -> None:
+        """Feed training epochs through predictors *and* the show curve.
+
+        The curve sees the same (prediction, actual) pairs the live
+        system would have produced during the training window.
+        """
+        for uid, counts in train_counts.items():
+            state = self._clients[uid]
+            for offset, actual in enumerate(counts):
+                epoch = start_epoch + offset
+                predicted = state.predictor.predict(epoch)
+                self.curve.observe(uid, predicted, int(actual))
+                state.predictor.observe(epoch, int(actual))
+
+    def observe_epoch(self, epoch_index: int, actuals: dict[str, int]) -> None:
+        """Ingest the true slot counts of a finished epoch.
+
+        (The payload rides each client's next sync; see DESIGN.md.)
+        """
+        for uid, actual in actuals.items():
+            state = self._clients[uid]
+            self.curve.observe(uid, state.last_prediction, int(actual))
+            state.predictor.observe(epoch_index, int(actual))
+
+    # ------------------------------------------------------------------
+    # Epoch planning: sell ahead + overbook
+    # ------------------------------------------------------------------
+
+    def plan_epoch(self, epoch_index: int, now: float) -> EpochPlanStats:
+        """Sell the predicted inventory and plan its dispatch."""
+        forecasts: list[ClientForecast] = []
+        total_predicted = 0.0
+        for uid, state in self._clients.items():
+            self._prune_state(state, now)
+            predicted = max(0.0, state.predictor.predict(epoch_index))
+            state.last_prediction = predicted
+            total_predicted += predicted
+            backlog = len(state.delivered_unshown) + len(state.pending)
+            capacity = max(
+                0,
+                math.ceil(self.config.capacity_factor * predicted)
+                + self.config.capacity_slack - backlog,
+            )
+            forecasts.append(ClientForecast(
+                client_id=uid, predicted=predicted, backlog=backlog,
+                capacity=capacity))
+        to_sell = int(round(self.config.sell_factor * total_predicted))
+        sales = self.exchange.sell_ahead(
+            now, to_sell, deadline=now + self.config.deadline_s)
+        self.all_sales.extend(sales)
+        for sale in sales:
+            heapq.heappush(self._at_risk, (sale.deadline, sale.sale_id, sale))
+        plan = self.policy.plan(sales, forecasts, self._dispatch_curve,
+                                rng=self.rng,
+                                standby_until=now + self.config.standby_lag)
+        for uid, queue in plan.queues.items():
+            if queue:
+                self._clients[uid].pending.extend(queue)
+                owners = self._sale_owners
+                for assignment in queue:
+                    owners.setdefault(assignment.sale_id, set()).add(uid)
+        stats = EpochPlanStats(
+            epoch_index=epoch_index,
+            predicted_total=total_predicted,
+            sold=len(sales),
+            assignments=plan.assignments(),
+            replication_factor=plan.replication_factor(),
+            expected_violation=plan.mean_expected_violation(),
+            unplaced=len(plan.unplaced),
+        )
+        self.plan_stats.append(stats)
+        return stats
+
+    def _prune_state(self, state: _ClientState, now: float) -> None:
+        """Drop expired/shown entries from the server's client view."""
+        state.pending = [
+            a for a in state.pending
+            if a.sale.deadline >= now and a.sale_id not in self.shown_set
+        ]
+        state.delivered_unshown = {
+            sid: deadline for sid, deadline in state.delivered_unshown.items()
+            if deadline >= now and sid not in self.shown_set
+        }
+
+    # ------------------------------------------------------------------
+    # Client-facing protocol
+    # ------------------------------------------------------------------
+
+    def sync(self, user_id: str, now: float,
+             reports: list[tuple[int, float]]) -> SyncResponse:
+        """Handle a client check-in: ingest reports, deliver new ads.
+
+        ``reports`` are (sale_id, display_time) pairs since the client's
+        previous sync. The response carries new assignments plus the ids
+        of queued ads that other replicas already displayed.
+        """
+        self.syncs += 1
+        self._last_contact[user_id] = now
+        invalidated = self.report(user_id, reports)
+        state = self._clients[user_id]
+        deliverable = [
+            a for a in state.pending
+            if a.sale.deadline > now and a.sale_id not in self.shown_set
+        ]
+        state.pending = []
+        for assignment in deliverable:
+            state.delivered_unshown[assignment.sale_id] = assignment.sale.deadline
+        nbytes = (self.config.control_bytes
+                  + sum(a.sale.creative_bytes for a in deliverable))
+        return SyncResponse(assignments=deliverable,
+                            invalidated_ids=invalidated, nbytes=nbytes)
+
+    def report(self, user_id: str,
+               reports: list[tuple[int, float]]) -> set[int]:
+        """Ingest impression reports (beacon or sync payload).
+
+        Returns the ids of this client's queued ads that other replicas
+        already displayed — invalidations ride every server contact.
+        """
+        state = self._clients[user_id]
+        for sale_id, _time in reports:
+            self.shown_set.add(sale_id)
+            state.delivered_unshown.pop(sale_id, None)
+        invalidated = {
+            sid for sid in state.delivered_unshown if sid in self.shown_set}
+        # Rescued-away ads: the rescuer took over; drop our copy before
+        # it can produce a duplicate.
+        invalidated |= self._revoked.pop(user_id, set())
+        for sid in invalidated:
+            state.delivered_unshown.pop(sid, None)
+        return invalidated
+
+    def rescue(self, user_id: str, now: float) -> list[Sale]:
+        """Re-replicate at-risk sales onto an actively consuming client.
+
+        Called when a client's cache runs dry mid-epoch: that client is
+        *certain* to display ads right now, which makes it the perfect
+        host for sold-but-unshown ads nearest their deadlines. Returns
+        up to ``rescue_batch`` sales (possibly none).
+        """
+        state = self._clients[user_id]
+        self._last_contact[user_id] = now
+        horizon = now + self.config.rescue_horizon
+        # An owner is "safely idle" when it has been out of contact long
+        # enough that any display it made must have been reported by now
+        # (the beacon bound), and it has not been active this epoch.
+        epoch_start = math.floor(now / self.config.epoch_s) * self.config.epoch_s
+        quiet_since = min(epoch_start, now - self.config.report_delay_s)
+        desperate_by = now + 0.25 * self.config.epoch_s
+        picked: list[Sale] = []
+        skipped: list[tuple[float, int, Sale]] = []
+        while self._at_risk and len(picked) < self.config.rescue_batch:
+            deadline, sid, sale = heapq.heappop(self._at_risk)
+            if sid in self.shown_set or deadline <= now:
+                continue  # settled or hopeless: drop from the heap
+            if deadline > horizon:
+                # Nearest at-risk deadline is still comfortably far: the
+                # statically planned replicas keep their chance to show
+                # it without a duplicate.
+                skipped.append((deadline, sid, sale))
+                break
+            owners = self._sale_owners.setdefault(sid, set())
+            skipped.append((deadline, sid, sale))  # still at risk until shown
+            if user_id in owners:
+                continue
+            # Duplicate guard: leave the sale alone while any replica
+            # host has been active this epoch (it is consuming its queue
+            # and will reach the ad), unless the deadline is imminent.
+            if deadline > desperate_by and any(
+                    self._last_contact.get(o, -1.0) >= quiet_since
+                    for o in owners):
+                continue
+            # Transfer ownership: idle hosts lose their copy at their
+            # next contact, before they can display it.
+            for other in owners:
+                self._revoked.setdefault(other, set()).add(sid)
+                self._clients[other].delivered_unshown.pop(sid, None)
+            owners.add(user_id)
+            state.delivered_unshown[sid] = deadline
+            picked.append(sale)
+        for entry in skipped:
+            heapq.heappush(self._at_risk, entry)
+        self.rescues += len(picked)
+        return picked
+
+    def record_display(self, sale_id: int, user_id: str, time: float) -> None:
+        """Ground-truth display record (settlement input).
+
+        Protocol-visible knowledge still travels via :meth:`sync`
+        reports; this log only feeds end-of-run settlement.
+        """
+        self.display_log.record(sale_id, user_id, time)
+
+    def realtime_fill(self, now: float, category: str,
+                      platform: str) -> Sale | None:
+        """Cache-miss fallback. Returns the sale to fetch, or None."""
+        if self.config.fallback == "house":
+            self.unfilled_slots += 1
+            return None
+        sale = self.exchange.sell_now(now, category=category,
+                                      platform=platform)
+        if sale is None:
+            self.unfilled_slots += 1
+            return None
+        self.fallback_billed += sale.price
+        self.fallback_impressions += 1
+        return sale
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> tuple[list[SaleOutcome], SlaReport, RevenueReport]:
+        """Settle every sale at the end of the run."""
+        outcomes, sla = settle_sla(self.all_sales, self.display_log)
+        revenue = settle_revenue(
+            outcomes, self.exchange,
+            billed_fallback=self.fallback_billed,
+            fallback_impressions=self.fallback_impressions,
+            unfilled_slots=self.unfilled_slots,
+        )
+        return outcomes, sla, revenue
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def mean_replication_factor(self) -> float:
+        factors = [s.replication_factor for s in self.plan_stats if s.sold]
+        return float(np.mean(factors)) if factors else 0.0
+
+    def predictor_of(self, user_id: str) -> SlotPredictor:
+        return self._clients[user_id].predictor

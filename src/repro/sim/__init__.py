@@ -1,0 +1,20 @@
+"""S1 — discrete-event simulation kernel (engine, events, RNG streams)."""
+
+from .engine import Engine, SimulationError
+from .events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, Event, make_event
+from .processes import Process, every, spawn
+from .rng import RngRegistry
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "Event",
+    "make_event",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "RngRegistry",
+    "Process",
+    "spawn",
+    "every",
+]

@@ -1,0 +1,143 @@
+"""Discrete-event simulation engine.
+
+The engine maintains a priority queue of :class:`~repro.sim.events.Event`
+objects and advances a simulated clock from event to event. All simulated
+components (clients, the ad server, the exchange) schedule work through a
+shared engine instance, which makes runs fully deterministic for a fixed
+master seed.
+
+Example
+-------
+>>> eng = Engine()
+>>> hits = []
+>>> eng.schedule_at(5.0, hits.append, (5,))
+>>> eng.schedule_at(1.0, hits.append, (1,))
+>>> eng.run()
+>>> hits
+[1, 5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .events import PRIORITY_NORMAL, Event, make_event
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling misuse (e.g. scheduling into the past)."""
+
+
+class Engine:
+    """Single-threaded discrete-event scheduler.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of (non-cancelled) events fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued, including cancelled ones."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    args: tuple = (), priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Returns the :class:`Event`, which callers may ``cancel()``.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, clock already at {self._now:.6f}")
+        event = make_event(time, callback, args, priority)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[..., Any],
+                       args: tuple = (), priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, args, priority)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
+        """Process events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. Events scheduled at
+            exactly ``until`` still fire; the clock is left at ``until``
+            (or at the last event time if the queue drains first).
+        max_events:
+            Safety valve: stop after firing this many events.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run stopped.
+        """
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.fire()
+                self._processed += 1
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue is
+        empty (cancelled events are silently discarded).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self._processed += 1
+            return True
+        return False
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

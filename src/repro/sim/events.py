@@ -1,0 +1,59 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+Events carry an absolute firing time (simulated seconds), a priority used
+to order simultaneous events deterministically, and a callback. A
+monotonically increasing sequence number breaks remaining ties so that
+runs are reproducible regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 100
+#: Priority for bookkeeping that must run before normal events at the
+#: same timestamp (e.g. deadline expiry checks).
+PRIORITY_HIGH = 10
+#: Priority for events that must observe the effects of everything else
+#: scheduled at the same timestamp (e.g. metric snapshots).
+PRIORITY_LOW = 1000
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled callback.
+
+    Ordering is (time, priority, seq); the callback and its arguments do
+    not participate in comparisons.
+    """
+
+    time: float
+    priority: int
+    seq: int = field(compare=True)
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+def make_event(time: float, callback: Callable[..., Any], args: tuple = (),
+               priority: int = PRIORITY_NORMAL) -> Event:
+    """Build an :class:`Event` with a fresh global sequence number."""
+    return Event(time=time, priority=priority, seq=next(_sequence),
+                 callback=callback, args=args)

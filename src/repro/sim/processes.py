@@ -1,0 +1,88 @@
+"""Coroutine-style processes on top of the event engine.
+
+The end-to-end harness uses the flat epoch loop for speed, but several
+smaller simulations (and downstream users of the kernel) are clearer as
+processes that ``yield`` delays:
+
+>>> eng = Engine()
+>>> log = []
+>>> def worker(name, period, count):
+...     for i in range(count):
+...         yield period
+...         log.append((eng.now, name, i))
+>>> _ = spawn(eng, worker("a", 2.0, 3))
+>>> _ = spawn(eng, worker("b", 3.0, 2))
+>>> _ = eng.run()
+>>> log
+[(2.0, 'a', 0), (3.0, 'b', 0), (4.0, 'a', 1), (6.0, 'b', 1), (6.0, 'a', 2)]
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator
+
+from .engine import Engine
+from .events import PRIORITY_NORMAL
+
+ProcessGenerator = Generator[float, None, None] | Iterator[float]
+
+
+class Process:
+    """A running generator whose yielded values are delays in seconds."""
+
+    def __init__(self, engine: Engine, generator: ProcessGenerator,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        self._engine = engine
+        self._generator = generator
+        self._priority = priority
+        self.alive = True
+        self.steps = 0
+
+    def _step(self) -> None:
+        if not self.alive:
+            return
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.alive = False
+            return
+        if delay is None or delay < 0:
+            raise ValueError(
+                f"process yielded invalid delay {delay!r}; yield a "
+                "non-negative number of seconds")
+        self.steps += 1
+        self._engine.schedule_after(float(delay), self._step,
+                                    priority=self._priority)
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending event becomes a no-op."""
+        self.alive = False
+        self._generator.close()
+
+
+def spawn(engine: Engine, generator: ProcessGenerator,
+          start_delay: float = 0.0,
+          priority: int = PRIORITY_NORMAL) -> Process:
+    """Register ``generator`` as a process starting ``start_delay`` from now."""
+    process = Process(engine, generator, priority)
+    engine.schedule_after(start_delay, process._step, priority=priority)
+    return process
+
+
+def every(engine: Engine, period: float, callback, *args,
+          until: float | None = None) -> Process:
+    """Convenience: run ``callback(*args)`` every ``period`` seconds.
+
+    Stops (if ``until`` is given) once the next tick would pass it.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+
+    def ticker():
+        while True:
+            yield period
+            if until is not None and engine.now > until:
+                return
+            callback(*args)
+
+    return spawn(engine, ticker())

@@ -1,0 +1,53 @@
+"""Deterministic random-number streams.
+
+Every stochastic component draws from its own named stream derived from a
+single master seed. Named derivation (rather than ``SeedSequence.spawn``
+order) means adding a new component never perturbs the draws of existing
+ones, which keeps experiment results stable as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def _seed_for(master_seed: int, name: str) -> np.random.SeedSequence:
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    # Four 32-bit words of entropy are plenty for PCG64.
+    words = [int.from_bytes(digest[i:i + 4], "little") for i in range(0, 16, 4)]
+    return np.random.SeedSequence(words)
+
+
+class RngRegistry:
+    """Factory for named, reproducible :class:`numpy.random.Generator` streams.
+
+    >>> reg = RngRegistry(master_seed=7)
+    >>> a = reg.stream("traces")
+    >>> b = reg.stream("traces")
+    >>> a is b
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = np.random.Generator(
+                np.random.PCG64(_seed_for(self.master_seed, name)))
+        return self._streams[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for ``name``, ignoring the cache.
+
+        Useful in tests that need to replay a stream from its start.
+        """
+        return np.random.Generator(np.random.PCG64(_seed_for(self.master_seed, name)))
+
+    def names(self) -> list[str]:
+        """Names of streams created so far (sorted for determinism)."""
+        return sorted(self._streams)

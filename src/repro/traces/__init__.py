@@ -1,0 +1,64 @@
+"""S3 — synthetic traces: diurnal models, generation, I/O, statistics."""
+
+from .calibration import CalibrationResult, CalibrationTarget, calibrate
+from .diurnal import (
+    DAYPARTS,
+    HOURS_PER_DAY,
+    DiurnalProfile,
+    autocorrelation_lag_one_day,
+    population_hourly_profile,
+    random_profile,
+)
+from .generator import TraceConfig, TraceGenerator, generate_trace
+from .io import read_trace, write_trace
+from .schema import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    AdSlot,
+    Session,
+    Trace,
+    UserTrace,
+)
+from .stats import (
+    TraceSummary,
+    cdf,
+    epoch_slot_counts,
+    hour_of_day_profile,
+    hourly_slot_counts,
+    refresh_map,
+    slots_per_user_day,
+    summarize,
+    user_hourly_slot_counts,
+)
+
+__all__ = [
+    "DiurnalProfile",
+    "random_profile",
+    "population_hourly_profile",
+    "autocorrelation_lag_one_day",
+    "DAYPARTS",
+    "HOURS_PER_DAY",
+    "Session",
+    "AdSlot",
+    "UserTrace",
+    "Trace",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "TraceConfig",
+    "TraceGenerator",
+    "generate_trace",
+    "write_trace",
+    "read_trace",
+    "TraceSummary",
+    "summarize",
+    "cdf",
+    "refresh_map",
+    "slots_per_user_day",
+    "hourly_slot_counts",
+    "user_hourly_slot_counts",
+    "hour_of_day_profile",
+    "epoch_slot_counts",
+    "CalibrationTarget",
+    "CalibrationResult",
+    "calibrate",
+]

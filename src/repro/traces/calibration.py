@@ -1,0 +1,104 @@
+"""Trace-generator calibration.
+
+The synthetic traces stand in for the paper's proprietary ones, so the
+generator must be *steerable*: given target statistics (median slot
+volume, day-over-day self-similarity), find population parameters that
+produce them. A coarse grid search is plenty — the generator responds
+smoothly to its two main knobs:
+
+* ``median_sessions_per_day`` sets the volume;
+* the day-noise range sets regularity (predictability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.rng import RngRegistry
+from repro.workloads.appstore import TOP15
+from repro.workloads.population import PopulationConfig, build_population
+
+from .generator import TraceConfig, TraceGenerator
+from .stats import refresh_map, summarize
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationTarget:
+    """The statistics to hit, with acceptable relative tolerance."""
+
+    median_slots_per_user_day: float
+    day_over_day_autocorrelation: float
+    tolerance: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.median_slots_per_user_day <= 0:
+            raise ValueError("median_slots_per_user_day must be positive")
+        if not 0.0 < self.day_over_day_autocorrelation < 1.0:
+            raise ValueError("autocorrelation target must be in (0, 1)")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Best parameters found and the statistics they produced."""
+
+    config: PopulationConfig
+    measured_median: float
+    measured_autocorrelation: float
+    error: float
+
+    def within(self, target: CalibrationTarget) -> bool:
+        med_err = abs(self.measured_median
+                      - target.median_slots_per_user_day
+                      ) / target.median_slots_per_user_day
+        ac_err = abs(self.measured_autocorrelation
+                     - target.day_over_day_autocorrelation)
+        return med_err <= target.tolerance and ac_err <= target.tolerance
+
+
+def _measure(config: PopulationConfig, n_days: int, seed: int
+             ) -> tuple[float, float]:
+    registry = RngRegistry(seed)
+    population = build_population(config, registry.stream("population"))
+    trace = TraceGenerator(TOP15, TraceConfig(n_days=n_days),
+                           registry.stream("trace")).generate(population)
+    summary = summarize(trace, refresh_map(TOP15))
+    return (summary.slots_per_user_day_median,
+            summary.day_over_day_autocorrelation)
+
+
+def calibrate(target: CalibrationTarget,
+              n_users: int = 80, n_days: int = 6, seed: int = 7,
+              session_grid: tuple[float, ...] = (4.0, 6.0, 9.0, 13.0, 18.0),
+              noise_grid: tuple[float, ...] = (0.15, 0.35, 0.6, 0.9),
+              ) -> CalibrationResult:
+    """Grid-search population parameters toward ``target``.
+
+    Runs ``len(session_grid) × len(noise_grid)`` small generations;
+    returns the best-scoring parameters (normalised L2 error).
+    """
+    best: CalibrationResult | None = None
+    for sessions in session_grid:
+        for noise_high in noise_grid:
+            candidate = PopulationConfig(
+                n_users=n_users,
+                median_sessions_per_day=sessions,
+                day_noise_low=noise_high / 3.0,
+                day_noise_high=noise_high,
+            )
+            median, autocorr = _measure(candidate, n_days, seed)
+            err = (((median - target.median_slots_per_user_day)
+                    / target.median_slots_per_user_day) ** 2
+                   + (autocorr - target.day_over_day_autocorrelation) ** 2
+                   ) ** 0.5
+            result = CalibrationResult(
+                config=replace(candidate, n_users=n_users),
+                measured_median=median,
+                measured_autocorrelation=autocorr,
+                error=err,
+            )
+            if best is None or result.error < best.error:
+                best = result
+    assert best is not None
+    return best

@@ -1,0 +1,95 @@
+"""Trace persistence: JSONL round-trip.
+
+One JSON object per line. The first line is a header record with trace
+metadata; subsequent lines are sessions. The format is append-friendly
+and diff-able, which is all a research trace needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .schema import Session, Trace
+
+_HEADER_KIND = "trace-header"
+_SESSION_KIND = "session"
+FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, path: str | Path,
+                platforms: dict[str, str] | None = None) -> int:
+    """Write ``trace`` to ``path``; returns the number of sessions written.
+
+    ``platforms`` optionally overrides per-user platform labels; by
+    default the labels stored on the trace's users are used.
+    """
+    path = Path(path)
+    platform_of = platforms or {
+        uid: u.platform for uid, u in trace.users.items()}
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        header = {
+            "kind": _HEADER_KIND,
+            "version": FORMAT_VERSION,
+            "n_days": trace.n_days,
+            "users": {uid: platform_of.get(uid, "wp") for uid in sorted(trace.users)},
+        }
+        fh.write(json.dumps(header) + "\n")
+        for session in trace.all_sessions():
+            record = {
+                "kind": _SESSION_KIND,
+                "user": session.user_id,
+                "app": session.app_id,
+                "start": round(session.start, 3),
+                "duration": round(session.duration, 3),
+            }
+            fh.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`write_trace`.
+
+    Raises
+    ------
+    ValueError
+        On a missing/invalid header or an unsupported format version.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("kind") != _HEADER_KIND:
+            raise ValueError(f"{path}: missing trace header")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')!r}")
+        trace = Trace(n_days=int(header["n_days"]))
+        platforms: dict[str, str] = dict(header.get("users", {}))
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != _SESSION_KIND:
+                raise ValueError(f"{path}:{line_no}: unexpected record kind")
+            session = Session(
+                user_id=record["user"],
+                app_id=record["app"],
+                start=float(record["start"]),
+                duration=float(record["duration"]),
+            )
+            trace.add_session(session,
+                              platform=platforms.get(session.user_id, "wp"))
+    # Restore users that had no sessions.
+    from .schema import UserTrace
+    for uid, platform in platforms.items():
+        if uid not in trace.users:
+            trace.users[uid] = UserTrace(uid, platform)
+    for user in trace.users.values():
+        user.sort()
+    return trace

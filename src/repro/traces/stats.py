@@ -1,0 +1,135 @@
+"""Trace characterization (experiment E3 and model calibration).
+
+All functions take a :class:`~repro.traces.schema.Trace` plus the app
+catalog's refresh intervals and produce the statistics the paper plots:
+per-user slot volume, the population's hourly rhythm, and day-over-day
+self-similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .diurnal import HOURS_PER_DAY, autocorrelation_lag_one_day
+from .schema import Trace
+
+
+def refresh_map(apps) -> dict[str, float]:
+    """app_id -> ad refresh period, from any AppProfile iterable."""
+    return {a.app_id: a.ad_refresh_s for a in apps}
+
+
+def slots_per_user_day(trace: Trace, refresh_of: dict[str, float]) -> np.ndarray:
+    """Matrix of ad-slot counts, shape (n_users, n_days).
+
+    Users are ordered by sorted user id.
+    """
+    users = trace.sorted_users()
+    out = np.zeros((len(users), trace.n_days), dtype=np.int64)
+    for row, user in enumerate(users):
+        for slot in user.slots(refresh_of):
+            day = slot.day
+            if 0 <= day < trace.n_days:
+                out[row, day] += 1
+    return out
+
+
+def hourly_slot_counts(trace: Trace, refresh_of: dict[str, float]) -> np.ndarray:
+    """Population-wide slot counts per absolute hour, shape (n_days*24,)."""
+    counts = np.zeros(trace.n_days * HOURS_PER_DAY, dtype=np.int64)
+    for user in trace.users.values():
+        for slot in user.slots(refresh_of):
+            idx = slot.hour_index
+            if 0 <= idx < counts.size:
+                counts[idx] += 1
+    return counts
+
+
+def user_hourly_slot_counts(trace: Trace, user_id: str,
+                            refresh_of: dict[str, float]) -> np.ndarray:
+    """One user's slot counts per absolute hour."""
+    counts = np.zeros(trace.n_days * HOURS_PER_DAY, dtype=np.int64)
+    for slot in trace.user(user_id).slots(refresh_of):
+        idx = slot.hour_index
+        if 0 <= idx < counts.size:
+            counts[idx] += 1
+    return counts
+
+
+def cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    v = np.sort(np.asarray(values).ravel())
+    if v.size == 0:
+        raise ValueError("cdf of empty data")
+    p = np.arange(1, v.size + 1) / v.size
+    return v, p
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Headline characterization numbers for a trace (E3's table)."""
+
+    n_users: int
+    n_days: int
+    n_sessions: int
+    n_slots: int
+    slots_per_user_day_mean: float
+    slots_per_user_day_median: float
+    slots_per_user_day_p90: float
+    active_user_fraction: float      # users with >= 1 slot
+    peak_hour: int                   # busiest hour of day (population)
+    day_over_day_autocorrelation: float
+
+
+def summarize(trace: Trace, refresh_of: dict[str, float]) -> TraceSummary:
+    """Compute the E3 characterization summary."""
+    per_ud = slots_per_user_day(trace, refresh_of)
+    hourly = hourly_slot_counts(trace, refresh_of)
+    by_hour_of_day = hourly.reshape(trace.n_days, HOURS_PER_DAY).sum(axis=0)
+    flat = per_ud.ravel().astype(float)
+    autocorr = (autocorrelation_lag_one_day(hourly.astype(float))
+                if trace.n_days >= 2 else float("nan"))
+    return TraceSummary(
+        n_users=trace.n_users,
+        n_days=trace.n_days,
+        n_sessions=trace.n_sessions(),
+        n_slots=int(per_ud.sum()),
+        slots_per_user_day_mean=float(flat.mean()) if flat.size else 0.0,
+        slots_per_user_day_median=float(np.median(flat)) if flat.size else 0.0,
+        slots_per_user_day_p90=float(np.percentile(flat, 90)) if flat.size else 0.0,
+        active_user_fraction=float((per_ud.sum(axis=1) > 0).mean()) if per_ud.size else 0.0,
+        peak_hour=int(np.argmax(by_hour_of_day)),
+        day_over_day_autocorrelation=autocorr,
+    )
+
+
+def hour_of_day_profile(trace: Trace, refresh_of: dict[str, float]) -> np.ndarray:
+    """Fraction of all slots falling in each hour of day (sums to 1)."""
+    hourly = hourly_slot_counts(trace, refresh_of)
+    by_hour = hourly.reshape(trace.n_days, HOURS_PER_DAY).sum(axis=0).astype(float)
+    total = by_hour.sum()
+    if total == 0:
+        raise ValueError("trace has no slots")
+    return by_hour / total
+
+
+def epoch_slot_counts(trace: Trace, refresh_of: dict[str, float],
+                      epoch_s: float) -> dict[str, np.ndarray]:
+    """Per-user slot counts in consecutive epochs of ``epoch_s`` seconds.
+
+    This is the series the predictors are trained/evaluated on.
+    """
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive")
+    n_epochs = int(np.ceil(trace.horizon / epoch_s))
+    out: dict[str, np.ndarray] = {}
+    for user in trace.sorted_users():
+        counts = np.zeros(n_epochs, dtype=np.int64)
+        for slot in user.slots(refresh_of):
+            idx = int(slot.time // epoch_s)
+            if 0 <= idx < n_epochs:
+                counts[idx] += 1
+        out[user.user_id] = counts
+    return out

@@ -1,0 +1,16 @@
+"""S4 — synthetic app catalog and user population."""
+
+from .appstore import CATALOG, TOP15, AppProfile, catalog_weights, get_app
+from .population import PopulationConfig, UserProfile, build_population, sample_user
+
+__all__ = [
+    "AppProfile",
+    "TOP15",
+    "CATALOG",
+    "get_app",
+    "catalog_weights",
+    "UserProfile",
+    "PopulationConfig",
+    "sample_user",
+    "build_population",
+]

@@ -1,0 +1,124 @@
+"""Synthetic "top-15 free apps" catalog.
+
+The paper's measurement study profiles the top 15 free Windows Phone
+apps. We cannot ship those binaries, so this module defines a catalog of
+15 app profiles spanning the same behavioural space: offline games whose
+only network traffic is advertising, chatty streaming/social apps where
+ad fetches piggyback on app traffic, and everything in between. The mix
+is tuned so that, under the 3G radio model, advertising accounts for
+roughly two thirds of communication energy across the catalog — the
+paper's headline measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AppProfile:
+    """Static behaviour profile of one ad-supported app.
+
+    Attributes
+    ----------
+    app_id:
+        Stable identifier, e.g. ``"puzzle_blocks"``.
+    category:
+        Coarse genre label used in reports.
+    popularity:
+        Relative launch-probability weight across the catalog.
+    session_median_s / session_sigma:
+        Lognormal session-duration parameters (median seconds and sigma
+        of the underlying normal).
+    ad_refresh_s:
+        Foreground ad rotation period; every rotation is an ad slot.
+    ad_bytes:
+        Size of one ad creative (markup + image).
+    app_request_interval_s:
+        Period of the app's *own* network requests while in foreground,
+        or ``None`` for fully offline apps (games, tools).
+    app_request_bytes:
+        Size of one app-originated request/response pair.
+    """
+
+    app_id: str
+    category: str
+    popularity: float
+    session_median_s: float
+    session_sigma: float
+    ad_refresh_s: float
+    ad_bytes: int
+    app_request_interval_s: float | None
+    app_request_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.popularity <= 0:
+            raise ValueError("popularity must be positive")
+        if self.session_median_s <= 0:
+            raise ValueError("session_median_s must be positive")
+        if self.ad_refresh_s <= 0:
+            raise ValueError("ad_refresh_s must be positive")
+
+    @property
+    def is_offline(self) -> bool:
+        """True when the app makes no network requests of its own."""
+        return self.app_request_interval_s is None
+
+    def slots_in_session(self, duration: float) -> int:
+        """Ad slots surfaced by a foreground session of ``duration`` seconds.
+
+        One slot fires at launch, then one per refresh period.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return 1 + int(duration // self.ad_refresh_s)
+
+    def slot_times_offsets(self, duration: float) -> list[float]:
+        """Slot times relative to session start (launch + rotations)."""
+        return [k * self.ad_refresh_s
+                for k in range(self.slots_in_session(duration))]
+
+
+def _app(app_id: str, category: str, popularity: float, median: float,
+         sigma: float, refresh: float, ad_bytes: int,
+         app_interval: float | None, app_bytes: int) -> AppProfile:
+    return AppProfile(app_id, category, popularity, median, sigma, refresh,
+                      ad_bytes, app_interval, app_bytes)
+
+
+#: The synthetic top-15 catalog. Offline games dominate by count (as the
+#: 2013 marketplaces did); a few chatty apps provide piggybacking
+#: opportunities for their ad traffic.
+TOP15: tuple[AppProfile, ...] = (
+    _app("puzzle_blocks", "game", 10.0, 420.0, 0.9, 30.0, 4000, None, 0),
+    _app("solitaire_deluxe", "game", 9.0, 540.0, 0.8, 45.0, 4000, None, 0),
+    _app("word_trainer", "game", 7.5, 300.0, 0.9, 30.0, 3500, None, 0),
+    _app("bubble_pop", "game", 7.0, 360.0, 1.0, 30.0, 4000, None, 0),
+    _app("flashlight_pro", "tool", 6.0, 60.0, 0.7, 30.0, 3000, None, 0),
+    _app("unit_converter", "tool", 4.0, 90.0, 0.8, 45.0, 3000, None, 0),
+    _app("doodle_sketch", "tool", 3.5, 240.0, 1.0, 60.0, 3500, None, 0),
+    _app("daily_weather", "weather", 8.0, 75.0, 0.6, 30.0, 3500, 60.0, 6000),
+    _app("headline_news", "news", 7.0, 180.0, 0.8, 30.0, 4000, 45.0, 12000),
+    _app("social_stream", "social", 9.5, 300.0, 0.9, 30.0, 4000, 25.0, 12000),
+    _app("chat_now", "social", 8.5, 240.0, 1.0, 60.0, 3500, 40.0, 2500),
+    _app("photo_filters", "photo", 5.0, 210.0, 0.9, 45.0, 4000, 120.0, 40000),
+    _app("internet_radio", "media", 4.0, 600.0, 0.7, 60.0, 4000, 4.0, 24000),
+    _app("video_clips", "media", 5.0, 300.0, 0.9, 45.0, 4500, 20.0, 50000),
+    _app("deal_finder", "shopping", 4.5, 150.0, 0.8, 30.0, 4000, 40.0, 9000),
+)
+
+CATALOG: dict[str, AppProfile] = {a.app_id: a for a in TOP15}
+
+
+def get_app(app_id: str) -> AppProfile:
+    """Look up a catalog app by id."""
+    try:
+        return CATALOG[app_id]
+    except KeyError:
+        raise KeyError(f"unknown app {app_id!r}") from None
+
+
+def catalog_weights(apps: tuple[AppProfile, ...] = TOP15) -> list[float]:
+    """Normalised popularity weights for sampling app launches."""
+    total = sum(a.popularity for a in apps)
+    return [a.popularity / total for a in apps]

@@ -1,0 +1,54 @@
+"""Meta-tests: public-API quality gates (docstrings, exports)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro.sim", "repro.radio", "repro.traces", "repro.workloads",
+    "repro.client", "repro.prediction", "repro.exchange", "repro.server",
+    "repro.core", "repro.baselines", "repro.metrics", "repro.experiments",
+]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in _iter_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_classes_and_functions_are_documented():
+    undocumented = []
+    for module in _iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue   # re-export; documented at its home
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, f"undocumented public API: {undocumented}"
+
+
+def test_package_all_exports_resolve():
+    for package_name in PACKAGES + ["repro"]:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_top_level_surface():
+    assert repro.__version__
+    assert callable(repro.run_headline)
+    assert repro.PAPER_SCALE.n_users == 1750

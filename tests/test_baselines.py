@@ -1,0 +1,55 @@
+"""Unit tests for the real-time baseline engine."""
+
+import pytest
+
+from repro.baselines.realtime import run_realtime
+from repro.exchange.auction import AuctionConfig
+from repro.exchange.campaign import Campaign
+from repro.exchange.marketplace import Exchange
+from repro.radio.profiles import THREE_G, get_profile
+from repro.sim.rng import RngRegistry
+
+
+def _exchange(n=30):
+    campaigns = [Campaign(f"c{i}", "a", bid=2.0, budget=1e9)
+                 for i in range(n)]
+    return Exchange(campaigns, AuctionConfig(bid_jitter_sigma=0.1),
+                    RngRegistry(8).fresh("rt"))
+
+
+def test_realtime_fills_every_slot_with_demand(tiny_world, tiny_config):
+    start = tiny_config.train_days * 86400.0
+    outcome = run_realtime(tiny_world.timelines, tiny_world.apps, THREE_G,
+                           _exchange(), start, tiny_world.trace.horizon)
+    assert outcome.unfilled_slots == 0
+    assert outcome.impressions == outcome.total_slots
+    assert outcome.billed_revenue > 0
+    assert outcome.energy.ad_joules > 0
+    assert outcome.energy.n_users == tiny_world.trace.n_users
+
+
+def test_realtime_rejects_empty_window(tiny_world):
+    with pytest.raises(ValueError):
+        run_realtime(tiny_world.timelines, tiny_world.apps, THREE_G,
+                     _exchange(), 100.0, 100.0)
+
+
+def test_realtime_energy_scales_with_window(tiny_world, tiny_config):
+    horizon = tiny_world.trace.horizon
+    one_day = run_realtime(tiny_world.timelines, tiny_world.apps, THREE_G,
+                           _exchange(), horizon - 86400.0, horizon)
+    two_days = run_realtime(tiny_world.timelines, tiny_world.apps, THREE_G,
+                            _exchange(), horizon - 2 * 86400.0, horizon)
+    assert two_days.energy.ad_joules > one_day.energy.ad_joules
+    assert two_days.impressions > one_day.impressions
+
+
+def test_realtime_wifi_is_cheaper_than_3g(tiny_world, tiny_config):
+    start = tiny_config.train_days * 86400.0
+    on_3g = run_realtime(tiny_world.timelines, tiny_world.apps,
+                         get_profile("3g"), _exchange(), start,
+                         tiny_world.trace.horizon)
+    on_wifi = run_realtime(tiny_world.timelines, tiny_world.apps,
+                           get_profile("wifi"), _exchange(), start,
+                           tiny_world.trace.horizon)
+    assert on_wifi.energy.ad_joules < 0.2 * on_3g.energy.ad_joules

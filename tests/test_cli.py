@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands_exist():
+    parser = build_parser()
+    args = parser.parse_args(["run", "e2", "--users", "10"])
+    assert args.experiment == "e2"
+    assert args.users == 10
+    args = parser.parse_args(["headline", "--seed", "3"])
+    assert args.seed == 3
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "e99"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e12" in out and "Table 2" in out
+
+
+def test_run_e2_command(capsys):
+    assert main(["run", "e2"]) == 0
+    out = capsys.readouterr().out
+    assert "per-ad energy" in out
+    assert "[e2 took" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    code = main(["trace", str(path), "--users", "12", "--days", "3",
+                 "--train-days", "1", "--seed", "21"])
+    assert code == 0
+    assert path.exists()
+    out = capsys.readouterr().out
+    assert "12 users" in out
+
+    from repro.traces.io import read_trace
+    trace = read_trace(path)
+    assert trace.n_users == 12
+    assert trace.n_days == 3
+
+
+def test_report_command_subset(tmp_path, capsys):
+    path = tmp_path / "report.md"
+    code = main(["report", str(path), "--only", "e2", "--users", "10"])
+    assert code == 0
+    text = path.read_text()
+    assert "Reproduction report" in text
+    assert "e2" in text and "per-ad energy" in text
+
+
+def test_headline_command_small(capsys):
+    code = main(["headline", "--users", "12", "--days", "6",
+                 "--train-days", "3", "--seed", "15"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "energy savings" in out
+    assert "SLA violation rate" in out

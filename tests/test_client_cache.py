@@ -1,0 +1,80 @@
+"""Unit tests for the client ad cache."""
+
+from repro.core.overbooking import Assignment
+from repro.exchange.marketplace import Sale
+from repro.client.cache import AdQueue
+
+
+def _assignment(sale_id, deadline=100.0, active_from=0.0,
+                nbytes=4000) -> Assignment:
+    sale = Sale(sale_id=sale_id, campaign_id="c", price=1.0,
+                creative_bytes=nbytes, sold_at=0.0, deadline=deadline)
+    return Assignment(sale, active_from=active_from)
+
+
+def test_install_and_fifo_pop():
+    q = AdQueue()
+    nbytes = q.install([_assignment(1), _assignment(2)])
+    assert nbytes == 8000
+    assert len(q) == 2
+    assert q.pop_for_display(10.0).sale_id == 1
+    assert q.pop_for_display(10.0).sale_id == 2
+    assert q.pop_for_display(10.0) is None
+    assert q.stats.displayed == 2
+    assert q.stats.installed == 2
+    assert q.stats.bytes_installed == 8000
+
+
+def test_pop_skips_and_drops_expired():
+    q = AdQueue()
+    q.install([_assignment(1, deadline=5.0), _assignment(2, deadline=100.0)])
+    sale = q.pop_for_display(50.0)
+    assert sale.sale_id == 2
+    assert q.stats.expired == 1
+
+
+def test_pop_keeps_standby_entries():
+    q = AdQueue()
+    q.install([_assignment(1, active_from=60.0), _assignment(2)])
+    # At t=10 the standby entry is skipped but retained.
+    assert q.pop_for_display(10.0).sale_id == 2
+    assert len(q) == 1
+    # After activation it becomes displayable, in original order.
+    assert q.pop_for_display(70.0).sale_id == 1
+
+
+def test_standby_order_preserved_after_skip():
+    q = AdQueue()
+    q.install([_assignment(1, active_from=60.0),
+               _assignment(2, active_from=60.0),
+               _assignment(3)])
+    assert q.pop_for_display(10.0).sale_id == 3
+    assert q.peek_ids() == [1, 2]
+    assert q.pop_for_display(70.0).sale_id == 1
+
+
+def test_invalidate_removes_shown_ids():
+    q = AdQueue()
+    q.install([_assignment(i) for i in range(5)])
+    removed = q.invalidate({1, 3, 99})
+    assert removed == 2
+    assert q.peek_ids() == [0, 2, 4]
+    assert q.stats.invalidated == 2
+    assert q.invalidate(set()) == 0
+
+
+def test_drop_expired_bulk():
+    q = AdQueue()
+    q.install([_assignment(1, deadline=10.0), _assignment(2, deadline=20.0),
+               _assignment(3, deadline=30.0)])
+    assert q.drop_expired(25.0) == 2
+    assert q.peek_ids() == [3]
+    assert q.stats.expired == 2
+
+
+def test_wasted_counts_expired_plus_invalidated():
+    q = AdQueue()
+    q.install([_assignment(1, deadline=1.0), _assignment(2)])
+    q.drop_expired(5.0)
+    q.invalidate({2})
+    assert q.stats.wasted == 2

@@ -1,0 +1,53 @@
+"""Unit tests for the Device wrapper."""
+
+import pytest
+
+from repro.client.device import TAG_AD, TAG_APP, Device
+from repro.radio.profiles import THREE_G
+
+
+def test_tagged_transfers_split_energy_and_bytes():
+    device = Device("u", THREE_G)
+    device.ad_fetch(0.0, 4000)
+    device.app_request(500.0, 9000)
+    device.finish()
+    assert device.ad_bytes == 4000
+    assert device.app_bytes == 9000
+    assert device.ad_energy() == pytest.approx(
+        THREE_G.isolated_transfer_energy(4000))
+    assert device.app_energy() == pytest.approx(
+        THREE_G.isolated_transfer_energy(9000))
+    assert device.wakeups == 2
+
+
+def test_streaming_duration_and_bytes():
+    device = Device("u", THREE_G)
+    record = device.app_streaming(0.0, 120.0)
+    device.finish()
+    assert record.end_time - record.start_time == pytest.approx(120.0)
+    assert device.app_bytes == int(120.0 * THREE_G.throughput)
+    # Energy ~ active power for the whole span plus promo and tail.
+    expected = (THREE_G.promo_energy + THREE_G.active_power * 120.0
+                + THREE_G.tail_energy)
+    assert device.app_energy() == pytest.approx(expected)
+
+
+def test_untagged_energy_views_are_zero_by_default():
+    device = Device("u", THREE_G)
+    device.finish()
+    assert device.ad_energy() == 0.0
+    assert device.app_energy() == 0.0
+
+
+def test_timeline_collection_is_opt_in():
+    plain = Device("u", THREE_G)
+    plain.ad_fetch(0.0, 100)
+    plain.finish()
+    assert plain.radio.timeline() == []
+    assert plain.radio.records == []     # records off for memory
+
+    instrumented = Device("u", THREE_G, keep_timeline=True)
+    instrumented.ad_fetch(0.0, 100)
+    instrumented.finish()
+    assert instrumented.radio.timeline() != []
+    assert instrumented.radio.records != []

@@ -1,0 +1,91 @@
+"""Unit + property tests for the closed-form overbooking analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    expected_duplicates,
+    marginal_value,
+    operating_point,
+    replicas_for_epsilon,
+    tradeoff_curve,
+    violation_probability,
+)
+
+
+def test_replicas_for_epsilon_by_hand():
+    assert replicas_for_epsilon(0.99, 0.01) == 1
+    assert replicas_for_epsilon(0.9, 0.01) == 2
+    assert replicas_for_epsilon(0.8, 0.01) == 3
+    assert replicas_for_epsilon(0.5, 0.01) == 7
+    assert replicas_for_epsilon(1.0, 1e-9) == 1
+
+
+def test_replicas_for_epsilon_caps_and_validates():
+    assert replicas_for_epsilon(0.1, 1e-6, max_replicas=4) == 4
+    assert replicas_for_epsilon(0.0, 0.5, max_replicas=3) == 3
+    with pytest.raises(ValueError):
+        replicas_for_epsilon(0.0, 0.5)
+    with pytest.raises(ValueError):
+        replicas_for_epsilon(0.5, 0.0)
+    with pytest.raises(ValueError):
+        replicas_for_epsilon(1.5, 0.1)
+
+
+def test_violation_and_duplicates_by_hand():
+    assert violation_probability([0.5, 0.5]) == pytest.approx(0.25)
+    assert expected_duplicates([0.5]) == pytest.approx(0.0)
+    assert expected_duplicates([0.9, 0.9]) == pytest.approx(
+        1.8 - (1 - 0.01))
+    with pytest.raises(ValueError):
+        violation_probability([1.5])
+
+
+def test_marginal_value_increasing_in_p():
+    values = [marginal_value(p) for p in (0.1, 0.5, 0.9, 0.99)]
+    assert all(a < b for a, b in zip(values, values[1:]))
+    with pytest.raises(ValueError):
+        marginal_value(1.0)
+
+
+def test_operating_point_meets_epsilon():
+    pt = operating_point(0.8, 0.01)
+    assert pt.k == 3
+    assert pt.achieved_violation <= 0.01
+    assert pt.duplicate_rate == pytest.approx(
+        expected_duplicates([0.8] * 3))
+
+
+def test_tradeoff_curve_shapes():
+    curve = tradeoff_curve(0.6, range(1, 7))
+    violations = [v for _, v, _ in curve]
+    duplicates = [d for _, _, d in curve]
+    assert all(a > b for a, b in zip(violations, violations[1:]))
+    assert all(a <= b for a, b in zip(duplicates, duplicates[1:]))
+    with pytest.raises(ValueError):
+        tradeoff_curve(0.5, [0])
+
+
+@given(p=st.floats(min_value=0.01, max_value=0.99),
+       epsilon=st.floats(min_value=1e-6, max_value=0.5))
+@settings(max_examples=300, deadline=None)
+def test_replicas_property(p, epsilon):
+    """k replicas reach epsilon; k-1 do not (minimality)."""
+    k = replicas_for_epsilon(p, epsilon)
+    assert (1 - p) ** k <= epsilon + 1e-12
+    if k > 1:
+        assert (1 - p) ** (k - 1) > epsilon - 1e-12
+
+
+@given(ps=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                   max_size=10))
+@settings(max_examples=300, deadline=None)
+def test_duplicates_bounds_property(ps):
+    """0 <= E[dups] <= k-1, and displays decompose consistently."""
+    dups = expected_duplicates(ps)
+    assert -1e-9 <= dups <= len(ps) - 1 + 1e-9
+    shown = 1.0 - violation_probability(ps)
+    assert sum(ps) == pytest.approx(shown + dups)

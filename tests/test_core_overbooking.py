@@ -1,0 +1,215 @@
+"""Unit tests for the overbooking planner and dispatch policies."""
+
+import pytest
+
+from repro.core.overbooking import (
+    Assignment,
+    ClientForecast,
+    DispatchPlan,
+    GreedyBackfillPolicy,
+    NoReplicationPolicy,
+    RandomKPolicy,
+    StaggeredPolicy,
+    make_policy,
+    policy_names,
+)
+from repro.exchange.marketplace import Sale
+from repro.sim.rng import RngRegistry
+
+
+class FakeCurve:
+    """Deterministic curve: P(actual >= j) given per-client tables."""
+
+    def __init__(self, tables: dict[float, list[float]],
+                 dup_scale: float = 0.5) -> None:
+        self.tables = tables
+        self.dup_scale = dup_scale
+
+    def sla(self, predicted: float, j: int) -> float:
+        table = self.tables[predicted]
+        if j <= 0:
+            return 1.0
+        return table[j - 1] if j - 1 < len(table) else 0.0
+
+    def epoch(self, predicted: float, j: int) -> float:
+        return self.dup_scale * self.sla(predicted, j)
+
+
+def _sales(prices) -> list[Sale]:
+    return [Sale(sale_id=i, campaign_id=f"c{i}", price=p,
+                 creative_bytes=4000, sold_at=0.0, deadline=3600.0)
+            for i, p in enumerate(prices)]
+
+
+def _forecasts(spec) -> list[ClientForecast]:
+    """spec: list of (client_id, predicted, capacity[, backlog])."""
+    out = []
+    for entry in spec:
+        cid, predicted, capacity = entry[:3]
+        backlog = entry[3] if len(entry) > 3 else 0
+        out.append(ClientForecast(cid, predicted, backlog=backlog,
+                                  capacity=capacity))
+    return out
+
+
+def test_policy_registry():
+    assert set(policy_names()) == {"staggered", "greedy-backfill",
+                                   "random-k", "no-replication"}
+    with pytest.raises(KeyError):
+        make_policy("nope")
+
+
+def test_forecast_validation():
+    with pytest.raises(ValueError):
+        ClientForecast("u", predicted=-1.0)
+    with pytest.raises(ValueError):
+        ClientForecast("u", predicted=1.0, capacity=-1)
+
+
+def test_policy_param_validation():
+    with pytest.raises(ValueError):
+        StaggeredPolicy(epsilon=0.0)
+    with pytest.raises(ValueError):
+        StaggeredPolicy(max_replicas=0)
+    with pytest.raises(ValueError):
+        StaggeredPolicy(dup_penalty=-1.0)
+    with pytest.raises(ValueError):
+        RandomKPolicy(k=0)
+
+
+def test_single_reliable_unit_meets_epsilon_without_backups():
+    curve = FakeCurve({10.0: [0.999, 0.99, 0.98]})
+    policy = StaggeredPolicy(epsilon=0.01, max_replicas=4)
+    plan = policy.plan(_sales([1.0]), _forecasts([("a", 10.0, 3)]), curve)
+    assert plan.replicas[0] == ["a"]
+    assert plan.expected_violation[0] == pytest.approx(0.001)
+    assert plan.assignments() == 1
+
+
+def test_backups_added_until_epsilon():
+    # Every position shows with p=0.8 -> need 3 replicas for eps=0.01.
+    curve = FakeCurve({5.0: [0.8] * 10})
+    policy = StaggeredPolicy(epsilon=0.01, max_replicas=8)
+    forecasts = _forecasts([("a", 5.0, 5), ("b", 5.0, 5), ("c", 5.0, 5),
+                            ("d", 5.0, 5)])
+    plan = policy.plan(_sales([1.0]), forecasts, curve)
+    assert len(plan.replicas[0]) == 3
+    assert plan.expected_violation[0] == pytest.approx(0.2 ** 3)
+
+
+def test_replicas_on_distinct_clients():
+    curve = FakeCurve({5.0: [0.5] * 20})
+    policy = StaggeredPolicy(epsilon=0.001, max_replicas=8)
+    forecasts = _forecasts([("a", 5.0, 20), ("b", 5.0, 20), ("c", 5.0, 20)])
+    plan = policy.plan(_sales([1.0, 2.0]), forecasts, curve)
+    for owners in plan.replicas.values():
+        assert len(owners) == len(set(owners))
+
+
+def test_max_replicas_caps_replication():
+    curve = FakeCurve({1.0: [0.3] * 50})
+    policy = StaggeredPolicy(epsilon=1e-9, max_replicas=3)
+    forecasts = _forecasts([(f"u{i}", 1.0, 10) for i in range(10)])
+    plan = policy.plan(_sales([1.0]), forecasts, curve)
+    assert len(plan.replicas[0]) == 3
+
+
+def test_capacity_respected_and_unplaced_reported():
+    curve = FakeCurve({2.0: [0.9, 0.8]})
+    policy = StaggeredPolicy(epsilon=0.5, max_replicas=1)
+    forecasts = _forecasts([("a", 2.0, 2)])
+    plan = policy.plan(_sales([3.0, 2.0, 1.0]), forecasts, curve)
+    assert len(plan.queues["a"]) == 2
+    assert len(plan.unplaced) == 1
+    # The cheapest sale is the one left out (price-ordered planning).
+    assert plan.unplaced[0].price == 1.0
+
+
+def test_high_price_sales_get_best_positions():
+    curve = FakeCurve({9.0: [0.95, 0.2], 1.0: [0.4, 0.1]})
+    policy = NoReplicationPolicy()
+    forecasts = _forecasts([("busy", 9.0, 2), ("slow", 1.0, 2)])
+    plan = policy.plan(_sales([5.0, 50.0]), forecasts, curve)
+    expensive_owner = plan.replicas[1][0]   # sale 1 has price 50
+    assert expensive_owner == "busy"
+    assert plan.queues["busy"][0].sale.price == 50.0
+
+
+def test_backlog_shifts_positions():
+    curve = FakeCurve({3.0: [0.9, 0.5, 0.1]})
+    policy = NoReplicationPolicy()
+    fresh = policy.plan(_sales([1.0]),
+                        _forecasts([("a", 3.0, 1)]), curve)
+    backlogged = policy.plan(_sales([1.0]),
+                             _forecasts([("a", 3.0, 1, 2)]), curve)
+    assert fresh.expected_violation[0] == pytest.approx(0.1)
+    assert backlogged.expected_violation[0] == pytest.approx(0.9)
+
+
+def test_standby_until_marks_backups_only():
+    curve = FakeCurve({5.0: [0.8] * 10})
+    policy = StaggeredPolicy(epsilon=0.01, max_replicas=4)
+    forecasts = _forecasts([("a", 5.0, 5), ("b", 5.0, 5), ("c", 5.0, 5)])
+    plan = policy.plan(_sales([1.0]), forecasts, curve, standby_until=500.0)
+    assignments = [a for q in plan.queues.values() for a in q]
+    activations = sorted(a.active_from for a in assignments)
+    assert activations[0] == 0.0                  # the primary
+    assert all(a == 500.0 for a in activations[1:])  # the backups
+
+
+def test_greedy_backfill_is_dup_blind_staggered():
+    policy = GreedyBackfillPolicy(epsilon=0.01)
+    assert policy.dup_penalty == 0.0
+
+
+def test_random_k_places_exactly_k_when_possible():
+    curve = FakeCurve({2.0: [0.5] * 10})
+    policy = RandomKPolicy(k=3)
+    rng = RngRegistry(5).fresh("rk")
+    forecasts = _forecasts([(f"u{i}", 2.0, 4) for i in range(6)])
+    plan = policy.plan(_sales([1.0, 1.0]), forecasts, curve, rng=rng)
+    for owners in plan.replicas.values():
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+    assert plan.replication_factor() == pytest.approx(3.0)
+
+
+def test_random_k_requires_rng():
+    with pytest.raises(ValueError):
+        RandomKPolicy(k=2).plan(_sales([1.0]), _forecasts([("a", 2.0, 1)]),
+                                FakeCurve({2.0: [0.5]}))
+
+
+def test_random_k_with_no_capacity_reports_unplaced():
+    curve = FakeCurve({2.0: [0.5]})
+    plan = RandomKPolicy(k=2).plan(_sales([1.0]),
+                                   _forecasts([("a", 2.0, 0)]), curve,
+                                   rng=RngRegistry(1).fresh("rk"))
+    assert len(plan.unplaced) == 1
+
+
+def test_plan_statistics():
+    plan = DispatchPlan()
+    plan.queues = {"a": [Assignment(s) for s in _sales([1.0, 2.0])],
+                   "b": [Assignment(_sales([3.0])[0])]}
+    plan.replicas = {0: ["a"], 1: ["a", "b"]}
+    assert plan.assignments() == 3
+    assert plan.replication_factor() == pytest.approx(1.5)
+    assert plan.replication_histogram() == {1: 1, 2: 1}
+
+
+def test_planner_matches_closed_form_on_homogeneous_curve():
+    """With a flat show probability and ample capacity, the staggered
+    planner uses exactly the closed-form replica count from
+    repro.core.analysis."""
+    from repro.core.analysis import replicas_for_epsilon
+
+    for p, epsilon in ((0.9, 0.01), (0.7, 0.05), (0.5, 0.02)):
+        curve = FakeCurve({4.0: [p] * 50})
+        forecasts = _forecasts([(f"u{i}", 4.0, 50) for i in range(12)])
+        policy = StaggeredPolicy(epsilon=epsilon, max_replicas=12)
+        plan = policy.plan(_sales([1.0]), forecasts, curve)
+        expected = replicas_for_epsilon(p, epsilon, max_replicas=12)
+        assert len(plan.replicas[0]) == expected
+        assert plan.expected_violation[0] == pytest.approx(
+            (1 - p) ** expected)

@@ -1,0 +1,143 @@
+"""Unit tests for show-curve estimation."""
+
+import math
+
+import pytest
+
+from repro.core.showcurve import (
+    BUCKET_EDGES,
+    MAX_DEPTH,
+    DispatchCurve,
+    ScaledShowCurve,
+    ShowCurveEstimator,
+    WindowedShowCurveEstimator,
+    poisson_tail,
+)
+
+
+def test_poisson_tail_basics():
+    assert poisson_tail(5.0, 0) == 1.0
+    assert poisson_tail(0.0, 3) == 0.0
+    assert poisson_tail(2.0, 1) == pytest.approx(1 - math.exp(-2.0))
+    # Monotone in j, increasing in rate.
+    assert poisson_tail(3.0, 2) > poisson_tail(3.0, 5)
+    assert poisson_tail(8.0, 5) > poisson_tail(2.0, 5)
+    assert 0.0 <= poisson_tail(100.0, 250) <= 1.0
+
+
+def test_bucket_assignment():
+    assert ShowCurveEstimator.bucket_of(0.0) == 0
+    assert ShowCurveEstimator.bucket_of(0.4) == 0
+    assert ShowCurveEstimator.bucket_of(1.0) == 1
+    assert ShowCurveEstimator.bucket_of(1e9) == len(BUCKET_EDGES) - 2
+    with pytest.raises(ValueError):
+        ShowCurveEstimator.bucket_of(-0.1)
+
+
+def test_prior_used_before_data():
+    curve = ShowCurveEstimator(min_samples=10)
+    assert curve.at_least(4.0, 2) == pytest.approx(poisson_tail(4.0, 2))
+    assert curve.at_least(4.0, 0) == 1.0
+
+
+def test_empirical_estimate_converges():
+    curve = ShowCurveEstimator(min_samples=10)
+    # Predicted 5, actual is 0 half the time and 10 otherwise.
+    for i in range(200):
+        curve.observe(5.0, 0 if i % 2 == 0 else 10)
+    assert curve.at_least(5.0, 1) == pytest.approx(0.5)
+    assert curve.at_least(5.0, 10) == pytest.approx(0.5)
+    assert curve.at_least(5.0, 11) == pytest.approx(0.0)
+    assert curve.samples(5.0) == 200
+
+
+def test_curve_monotone_in_depth():
+    curve = ShowCurveEstimator(min_samples=5)
+    for actual in (0, 2, 5, 9, 1, 7, 3):
+        curve.observe(4.0, actual)
+    values = curve.curve(4.0, 12)
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_blending_ramps_from_prior_to_empirical():
+    curve = ShowCurveEstimator(min_samples=100)
+    for _ in range(50):
+        curve.observe(5.0, 0)   # empirical says: never shows
+    blended = curve.at_least(5.0, 1)
+    prior = poisson_tail(5.0, 1)
+    assert 0.0 < blended < prior
+
+
+def test_deep_actuals_clamped_to_max_depth():
+    curve = ShowCurveEstimator(min_samples=1)
+    curve.observe(70.0, MAX_DEPTH + 50)
+    assert curve.at_least(70.0, MAX_DEPTH) == pytest.approx(1.0)
+
+
+def test_expected_shows_sums_tail():
+    curve = ShowCurveEstimator(min_samples=1)
+    for _ in range(20):
+        curve.observe(3.0, 2)
+    assert curve.expected_shows(3.0, 4) == pytest.approx(2.0)
+
+
+def test_windowed_estimator_accumulates_rolling_sums():
+    windowed = WindowedShowCurveEstimator(max_window=3, min_samples=1)
+    # One client, constant prediction 2, actuals 1 each epoch.
+    for _ in range(50):
+        windowed.observe("u", 2.0, 1)
+    # 1-epoch window: actual 1; 3-epoch window: actual 3.
+    assert windowed.at_least(2.0, 1, window=1) == pytest.approx(1.0)
+    assert windowed.at_least(2.0, 2, window=1) == pytest.approx(0.0)
+    assert windowed.at_least(2.0, 3, window=3) == pytest.approx(1.0)
+    assert windowed.at_least(2.0, 4, window=3) == pytest.approx(0.0)
+
+
+def test_windowed_estimator_separates_clients():
+    windowed = WindowedShowCurveEstimator(max_window=2, min_samples=1)
+    for _ in range(30):
+        windowed.observe("busy", 5.0, 10)
+        windowed.observe("idle", 5.0, 0)
+    # The pooled 2-epoch curve mixes both: P(actual2 >= 1) ~= 0.5.
+    assert windowed.at_least(5.0, 1, window=2) == pytest.approx(0.5, abs=0.1)
+
+
+def test_windowed_estimator_validation():
+    with pytest.raises(ValueError):
+        WindowedShowCurveEstimator(max_window=0)
+    windowed = WindowedShowCurveEstimator(max_window=2)
+    with pytest.raises(ValueError):
+        windowed.at_least(1.0, 1, window=3)
+    with pytest.raises(ValueError):
+        windowed.observe("u", 1.0, -1)
+
+
+def test_dispatch_curve_views():
+    windowed = WindowedShowCurveEstimator(max_window=4, min_samples=1)
+    for _ in range(40):
+        windowed.observe("u", 3.0, 1)
+    curve = DispatchCurve(windowed, sla_window=4)
+    assert curve.dup_window == 2
+    assert curve.sla(3.0, 4) == pytest.approx(1.0)    # 4 shows in 4 epochs
+    assert curve.epoch(3.0, 2) == pytest.approx(1.0)  # 2 shows in 2 epochs
+    assert curve.epoch(3.0, 3) == pytest.approx(0.0)
+    assert curve.at_least(3.0, 4) == curve.sla(3.0, 4)
+
+
+def test_dispatch_curve_dup_window_capped():
+    windowed = WindowedShowCurveEstimator(max_window=1)
+    curve = DispatchCurve(windowed, sla_window=1)
+    assert curve.dup_window == 1
+    with pytest.raises(ValueError):
+        DispatchCurve(windowed, sla_window=2)
+
+
+def test_scaled_curve_multiplies_prediction():
+    base = ShowCurveEstimator(min_samples=1)
+    for _ in range(20):
+        base.observe(8.0, 4)
+    scaled = ScaledShowCurve(base, window_ratio=4.0)
+    assert scaled.at_least(2.0, 1) == base.at_least(8.0, 1)
+    with pytest.raises(ValueError):
+        ScaledShowCurve(base, window_ratio=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for SLA and revenue settlement."""
+
+import pytest
+
+from repro.core.revenue import settle_revenue
+from repro.core.sla import DisplayLog, settle_sla
+from repro.exchange.auction import AuctionConfig
+from repro.exchange.campaign import Campaign
+from repro.exchange.marketplace import Exchange, Sale
+from repro.sim.rng import RngRegistry
+
+
+def _sale(sale_id, price=2.0, sold_at=0.0, deadline=100.0,
+          campaign="c0") -> Sale:
+    return Sale(sale_id=sale_id, campaign_id=campaign, price=price,
+                sold_at=sold_at, deadline=deadline, creative_bytes=4000)
+
+
+def test_display_log_groups_and_sorts():
+    log = DisplayLog()
+    log.record(1, "b", 50.0)
+    log.record(1, "a", 10.0)
+    log.record(2, "c", 5.0)
+    grouped = log.by_sale()
+    assert grouped[1] == [(10.0, "a"), (50.0, "b")]
+    assert len(log) == 3
+
+
+def test_settle_sla_classifies_outcomes():
+    sales = [_sale(0), _sale(1), _sale(2, deadline=20.0)]
+    log = DisplayLog()
+    log.record(0, "a", 30.0)            # on time
+    log.record(0, "b", 40.0)            # duplicate
+    log.record(2, "a", 25.0)            # after its deadline -> violated
+    outcomes, report = settle_sla(sales, log)
+    assert [o.on_time for o in outcomes] == [True, False, False]
+    assert outcomes[0].duplicates == 1
+    assert outcomes[0].latency == pytest.approx(30.0)
+    assert report.n_sales == 3
+    assert report.n_on_time == 1
+    assert report.n_violated == 2
+    assert report.violation_rate == pytest.approx(2 / 3)
+    # Only displays beyond a sale's first count as duplicates; sale 2's
+    # single (late) display is a violation, not a duplicate.
+    assert report.n_duplicates == 1
+    assert report.mean_latency_s == pytest.approx(30.0)
+
+
+def test_settle_sla_empty():
+    outcomes, report = settle_sla([], DisplayLog())
+    assert outcomes == [] and report.violation_rate == 0.0
+
+
+def _exchange_with(sales_prices):
+    campaigns = [Campaign("c0", "a", bid=3.0, budget=1e9)]
+    ex = Exchange(campaigns, AuctionConfig(bid_jitter_sigma=1e-9),
+                  RngRegistry(1).fresh("x"))
+    # Register booked revenue (and the matching committed budget, as
+    # sell_ahead would) so settlement/refunds behave as in production.
+    for price in sales_prices:
+        ex.booked_revenue += price
+        ex.sales_count += 1
+        campaigns[0].charge(price)
+    return ex
+
+
+def test_settle_revenue_accounting():
+    sales = [_sale(0, price=4.0), _sale(1, price=2.0)]
+    log = DisplayLog()
+    log.record(0, "a", 10.0)
+    log.record(0, "b", 20.0)   # duplicate
+    outcomes, _ = settle_sla(sales, log)
+    ex = _exchange_with([4.0, 2.0])
+    report = settle_revenue(outcomes, ex, billed_fallback=5.0,
+                            fallback_impressions=3, unfilled_slots=1)
+    assert report.billed_prefetch == pytest.approx(4.0)
+    assert report.voided == pytest.approx(2.0)
+    assert report.duplicate_impressions == 1
+    assert report.duplicate_opportunity_cost == pytest.approx(3.0)
+    assert report.total_billed == pytest.approx(9.0)
+    assert report.paid_impressions == 1
+    assert ex.billed_revenue == pytest.approx(4.0)
+    assert ex.voided_revenue == pytest.approx(2.0)
+    # The voided sale's budget was refunded; the shown one stays spent.
+    assert ex.campaign("c0").spent == pytest.approx(4.0)
+
+
+def test_revenue_loss_metrics():
+    sales = [_sale(0, price=4.0)]
+    log = DisplayLog()
+    log.record(0, "a", 10.0)
+    outcomes, _ = settle_sla(sales, log)
+    report = settle_revenue(outcomes, _exchange_with([4.0]),
+                            billed_fallback=0.0, fallback_impressions=0,
+                            unfilled_slots=0)
+    assert report.internal_loss_rate == pytest.approx(0.0)
+    assert report.loss_vs(8.0) == pytest.approx(0.5)
+    assert report.loss_vs(0.0) == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for second-price auctions."""
+
+import numpy as np
+import pytest
+
+from repro.exchange.auction import AuctionConfig, run_auction, run_bulk_auctions
+from repro.exchange.campaign import Campaign
+from repro.sim.rng import RngRegistry
+
+
+def _campaigns(bids):
+    return [Campaign(f"c{i}", "a", bid=b, budget=1e9)
+            for i, b in enumerate(bids)]
+
+
+@pytest.fixture
+def auction_rng():
+    return RngRegistry(77).fresh("auction")
+
+
+def _no_jitter(reserve=0.1, max_bidders=24):
+    return AuctionConfig(reserve_price=reserve, bid_jitter_sigma=1e-9,
+                         max_bidders=max_bidders)
+
+
+def test_highest_bidder_wins_pays_second_price(auction_rng):
+    outcome = run_auction(_campaigns([1.0, 3.0, 2.0]), _no_jitter(),
+                          auction_rng)
+    assert outcome.sold
+    assert outcome.winner.bid == 3.0
+    assert outcome.price == pytest.approx(2.0, rel=1e-6)
+
+
+def test_single_bidder_pays_reserve(auction_rng):
+    outcome = run_auction(_campaigns([5.0]), _no_jitter(reserve=0.5),
+                          auction_rng)
+    assert outcome.sold
+    assert outcome.price == pytest.approx(0.5)
+
+
+def test_no_bidders_above_reserve_unsold(auction_rng):
+    outcome = run_auction(_campaigns([0.2, 0.3]), _no_jitter(reserve=1.0),
+                          auction_rng)
+    assert not outcome.sold
+    assert outcome.price == 0.0
+
+
+def test_empty_eligible_set(auction_rng):
+    outcome = run_auction([], _no_jitter(), auction_rng)
+    assert not outcome.sold
+
+
+def test_price_never_below_reserve_or_above_winner(auction_rng):
+    config = AuctionConfig(reserve_price=0.4, bid_jitter_sigma=0.3)
+    campaigns = _campaigns(list(np.linspace(0.5, 4.0, 12)))
+    for _ in range(100):
+        outcome = run_auction(campaigns, config, auction_rng)
+        if outcome.sold:
+            assert outcome.price >= config.reserve_price - 1e-9
+
+
+def test_max_bidders_caps_participation(auction_rng):
+    config = _no_jitter(max_bidders=3)
+    outcome = run_auction(_campaigns([1.0] * 20), config, auction_rng)
+    assert outcome.n_bidders == 3
+
+
+def test_bulk_auctions_match_count(auction_rng):
+    outcomes = run_bulk_auctions(_campaigns([2.0, 3.0, 1.0]), 50,
+                                 _no_jitter(), auction_rng)
+    assert len(outcomes) == 50
+    assert all(o.sold for o in outcomes)
+    # With negligible jitter every auction clears at the second price.
+    assert all(o.price == pytest.approx(2.0, rel=1e-6) for o in outcomes)
+    assert all(o.winner.bid == 3.0 for o in outcomes)
+
+
+def test_bulk_zero_or_empty(auction_rng):
+    assert run_bulk_auctions(_campaigns([1.0]), 0, _no_jitter(),
+                             auction_rng) == []
+    outcomes = run_bulk_auctions([], 5, _no_jitter(), auction_rng)
+    assert len(outcomes) == 5
+    assert not any(o.sold for o in outcomes)
+
+
+def test_bulk_with_reserve_filtering(auction_rng):
+    outcomes = run_bulk_auctions(_campaigns([0.05]), 10,
+                                 _no_jitter(reserve=1.0), auction_rng)
+    assert not any(o.sold for o in outcomes)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AuctionConfig(reserve_price=-1.0)
+    with pytest.raises(ValueError):
+        AuctionConfig(max_bidders=0)
+
+
+def test_jitter_produces_price_dispersion(auction_rng):
+    config = AuctionConfig(bid_jitter_sigma=0.3)
+    campaigns = _campaigns([2.0] * 10)
+    prices = [run_auction(campaigns, config, auction_rng).price
+              for _ in range(50)]
+    assert np.std(prices) > 0.05

@@ -1,0 +1,76 @@
+"""Unit tests for advertisers and campaigns."""
+
+import pytest
+
+from repro.exchange.campaign import (
+    ANY,
+    Campaign,
+    CampaignPoolConfig,
+    build_campaigns,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _campaign(**overrides) -> Campaign:
+    params = dict(campaign_id="c1", advertiser="a", bid=2.0, budget=100.0)
+    params.update(overrides)
+    return Campaign(**params)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        _campaign(bid=0.0)
+    with pytest.raises(ValueError):
+        _campaign(budget=0.0)
+
+
+def test_targeting_matches():
+    c = _campaign(category="game", platform=ANY)
+    assert c.matches("game", "wp")
+    assert not c.matches("news", "wp")
+    wildcard = _campaign()
+    assert wildcard.matches("anything", "iphone")
+    platform_locked = _campaign(platform="wp")
+    assert platform_locked.matches("game", "wp")
+    assert not platform_locked.matches("game", "iphone")
+
+
+def test_charge_and_budget_exhaustion():
+    c = _campaign(bid=10.0, budget=25.0)
+    assert c.active
+    c.charge(10.0)
+    c.charge(10.0)
+    assert c.spent == 20.0
+    assert c.impressions == 2
+    c.charge(5.0)
+    assert not c.active
+    with pytest.raises(ValueError):
+        c.charge(-1.0)
+
+
+def test_pool_config_validation():
+    with pytest.raises(ValueError):
+        CampaignPoolConfig(n_campaigns=0)
+    with pytest.raises(ValueError):
+        CampaignPoolConfig(targeted_fraction=2.0)
+
+
+def test_build_campaigns_population():
+    rng = RngRegistry(3).stream("campaigns")
+    campaigns = build_campaigns(CampaignPoolConfig(n_campaigns=200), rng)
+    assert len(campaigns) == 200
+    assert len({c.campaign_id for c in campaigns}) == 200
+    assert all(c.bid > 0 and c.budget > 0 for c in campaigns)
+    targeted = sum(1 for c in campaigns if c.category != ANY)
+    assert 0.15 < targeted / 200 < 0.5
+    bytes_ok = all(2500 <= c.creative_bytes <= 6000 for c in campaigns)
+    assert bytes_ok
+
+
+def test_build_campaigns_deterministic():
+    a = build_campaigns(CampaignPoolConfig(n_campaigns=50),
+                        RngRegistry(3).fresh("campaigns"))
+    b = build_campaigns(CampaignPoolConfig(n_campaigns=50),
+                        RngRegistry(3).fresh("campaigns"))
+    assert [c.bid for c in a] == [c.bid for c in b]
+    assert [c.category for c in a] == [c.category for c in b]

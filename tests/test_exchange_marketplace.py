@@ -1,0 +1,121 @@
+"""Unit tests for the exchange facade (selling + deferred billing)."""
+
+import pytest
+
+from repro.exchange.auction import AuctionConfig
+from repro.exchange.campaign import ANY, Campaign
+from repro.exchange.marketplace import Exchange
+from repro.sim.rng import RngRegistry
+
+
+def _exchange(bids=(1.0, 2.0, 3.0), reserve=0.1, seed=5) -> Exchange:
+    campaigns = [Campaign(f"c{i}", "a", bid=b, budget=1e9)
+                 for i, b in enumerate(bids)]
+    config = AuctionConfig(reserve_price=reserve, bid_jitter_sigma=1e-9)
+    return Exchange(campaigns, config, RngRegistry(seed).fresh("x"))
+
+
+def test_duplicate_campaign_ids_rejected():
+    campaigns = [Campaign("dup", "a", 1.0, 10.0),
+                 Campaign("dup", "a", 1.0, 10.0)]
+    with pytest.raises(ValueError):
+        Exchange(campaigns, AuctionConfig(), RngRegistry(0).fresh("x"))
+
+
+def test_sell_now_bills_immediately():
+    ex = _exchange()
+    sale = ex.sell_now(10.0)
+    assert sale is not None
+    assert not sale.has_deadline
+    assert ex.billed_revenue == pytest.approx(sale.price)
+    assert ex.booked_revenue == pytest.approx(sale.price)
+    assert ex.campaign(sale.campaign_id).impressions == 1
+
+
+def test_sell_now_respects_targeting():
+    campaigns = [Campaign("g", "a", 5.0, 1e9, category="game"),
+                 Campaign("n", "a", 1.0, 1e9, category="news")]
+    ex = Exchange(campaigns, AuctionConfig(bid_jitter_sigma=1e-9),
+                  RngRegistry(1).fresh("x"))
+    sale = ex.sell_now(0.0, category="news")
+    assert sale.campaign_id == "n"
+
+
+def test_sell_ahead_defers_billing_but_commits_budget():
+    ex = _exchange()
+    sales = ex.sell_ahead(0.0, 10, deadline=3600.0)
+    assert len(sales) == 10
+    assert all(s.deadline == 3600.0 for s in sales)
+    assert ex.billed_revenue == 0.0
+    assert ex.booked_revenue == pytest.approx(sum(s.price for s in sales))
+    assert ex.sales_count == 10
+    # Budget committed at sale time: demand depletes like real-time.
+    committed = sum(c.spent for c in ex.campaigns)
+    assert committed == pytest.approx(ex.booked_revenue)
+
+
+def test_sell_ahead_ignores_category_targeting():
+    """Predicted slots are run-of-network: targeted campaigns still bid."""
+    campaigns = [Campaign("g", "a", 5.0, 1e9, category="game")]
+    ex = Exchange(campaigns, AuctionConfig(bid_jitter_sigma=1e-9),
+                  RngRegistry(1).fresh("x"))
+    sales = ex.sell_ahead(0.0, 3, deadline=10.0)
+    assert len(sales) == 3
+
+
+def test_sell_ahead_respects_platform_targeting():
+    campaigns = [Campaign("w", "a", 5.0, 1e9, platform="wp")]
+    ex = Exchange(campaigns, AuctionConfig(bid_jitter_sigma=1e-9),
+                  RngRegistry(1).fresh("x"))
+    assert len(ex.sell_ahead(0.0, 2, deadline=10.0, platform="iphone")) == 0
+    assert len(ex.sell_ahead(0.0, 2, deadline=10.0, platform="wp")) == 2
+
+
+def test_sell_ahead_rejects_past_deadline():
+    ex = _exchange()
+    with pytest.raises(ValueError):
+        ex.sell_ahead(100.0, 1, deadline=100.0)
+
+
+def test_settlement_paths():
+    ex = _exchange()
+    shown, violated = ex.sell_ahead(0.0, 2, deadline=50.0)
+    spent_before = {c.campaign_id: c.spent for c in ex.campaigns}
+    ex.settle_shown(shown)
+    ex.settle_violated(violated)
+    assert ex.billed_revenue == pytest.approx(shown.price)
+    assert ex.voided_revenue == pytest.approx(violated.price)
+    # The shown sale's budget stays committed; the violated one refunds.
+    assert ex.campaign(shown.campaign_id).spent == pytest.approx(
+        spent_before[shown.campaign_id]
+        - (violated.price if shown.campaign_id == violated.campaign_id
+           else 0.0))
+
+
+def test_budget_exhaustion_removes_campaign():
+    campaigns = [Campaign("c0", "a", bid=10.0, budget=15.0)]
+    ex = Exchange(campaigns, AuctionConfig(reserve_price=8.0,
+                                           bid_jitter_sigma=1e-9),
+                  RngRegistry(2).fresh("x"))
+    first = ex.sell_now(0.0)
+    assert first is not None and first.price == pytest.approx(8.0)
+    # Budget 15, spent 8, remaining 7 < bid 10: the campaign must leave
+    # the market rather than risk another full-price win.
+    assert ex.active_campaigns() == 0
+    assert ex.sell_now(1.0) is None
+
+
+def test_sale_ids_unique_and_monotonic():
+    ex = _exchange()
+    sales = ex.sell_ahead(0.0, 5, deadline=10.0)
+    ids = [s.sale_id for s in sales]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_mean_clearing_price():
+    ex = _exchange()
+    assert ex.mean_clearing_price() == 0.0
+    sales = ex.sell_ahead(0.0, 4, deadline=10.0)
+    expected = sum(s.price for s in sales) / 4
+    assert ex.mean_clearing_price() == pytest.approx(expected)

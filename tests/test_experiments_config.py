@@ -1,0 +1,74 @@
+"""Unit tests for experiment configuration and presets."""
+
+import pytest
+
+from repro.baselines.presets import apply_preset
+from repro.experiments.config import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentConfig,
+)
+
+
+def test_defaults_are_consistent():
+    config = ExperimentConfig()
+    assert config.test_days == config.n_days - config.train_days
+    server = config.server_config()
+    assert server.epoch_s == config.epoch_s
+    assert server.deadline_s == config.deadline_s
+    assert server.sell_factor == config.sell_factor
+    assert config.population_config().n_users == config.n_users
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(train_days=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(train_days=10, n_days=10)
+    with pytest.raises(ValueError):
+        ExperimentConfig(epoch_s=5000.0)
+
+
+def test_variant_replaces_fields():
+    base = ExperimentConfig()
+    variant = base.variant(n_users=10, predictor="oracle")
+    assert variant.n_users == 10
+    assert variant.predictor == "oracle"
+    assert base.n_users != 10   # original untouched
+
+
+def test_world_key_ignores_serving_knobs():
+    a = ExperimentConfig(epsilon=0.01)
+    b = ExperimentConfig(epsilon=0.2)
+    assert a.world_key() == b.world_key()
+    c = ExperimentConfig(n_users=999)
+    assert c.world_key() != a.world_key()
+
+
+def test_policy_kwargs_full_merges_defaults():
+    config = ExperimentConfig(epsilon=0.07, max_replicas=3,
+                              policy_kwargs={"dup_penalty": 1.0})
+    kwargs = config.policy_kwargs_full()
+    assert kwargs == {"dup_penalty": 1.0, "epsilon": 0.07, "max_replicas": 3}
+    explicit = ExperimentConfig(policy_kwargs={"epsilon": 0.5})
+    assert explicit.policy_kwargs_full()["epsilon"] == 0.5
+
+
+def test_named_scales():
+    assert PAPER_SCALE.n_users == 1750
+    assert BENCH_SCALE.n_users < PAPER_SCALE.n_users
+    assert TEST_SCALE.n_users < BENCH_SCALE.n_users
+
+
+def test_presets():
+    base = ExperimentConfig()
+    naive = apply_preset("naive-prefetch", base)
+    assert naive.policy == "no-replication"
+    assert naive.rescue_batch == 0
+    oracle = apply_preset("oracle", base)
+    assert oracle.predictor == "oracle"
+    assert apply_preset("realtime", base) is base
+    assert apply_preset("overbooking", base).policy == "staggered"
+    with pytest.raises(KeyError):
+        apply_preset("nope", base)

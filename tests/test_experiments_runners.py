@@ -1,0 +1,83 @@
+"""Tests for the experiment runners (fast artifacts only; the sweeps
+are covered by the benchmark suite at bench scale)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.e1_app_energy import DISPLAY_POWER_W, measure_app, run_e1
+from repro.experiments.e2_tail_energy import run_e2
+from repro.experiments.e3_traces import run_e3
+from repro.experiments.e4_prediction import run_e4
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.radio.profiles import THREE_G
+from repro.workloads.appstore import get_app
+
+
+def test_e1_reproduces_the_measurement_study():
+    study = run_e1()
+    assert len(study.rows) == 15
+    # The paper's anchored numbers: ~65% of communication energy,
+    # ~23% of total energy, on average.
+    assert 0.55 <= study.mean_ad_share_of_communication <= 0.75
+    assert 0.18 <= study.mean_ad_share_of_total <= 0.30
+    rendered = study.render()
+    assert "MEAN" in rendered and "puzzle_blocks" in rendered
+
+
+def test_e1_offline_apps_have_pure_ad_traffic():
+    row = measure_app(get_app("puzzle_blocks"), THREE_G)
+    assert row.ad_share_of_communication == pytest.approx(1.0)
+    assert row.app_joules == 0.0
+    assert row.display_joules == pytest.approx(
+        10 * get_app("puzzle_blocks").session_median_s * DISPLAY_POWER_W)
+
+
+def test_e1_online_apps_dilute_ad_share():
+    row = measure_app(get_app("internet_radio"), THREE_G)
+    assert row.ad_share_of_communication < 0.2
+
+
+def test_e2_amortization_shape():
+    figure = run_e2()
+    for radio in ("3g", "lte"):
+        series = figure.series[radio]
+        values = [v for _, v in series]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert figure.amortization_ratio(radio) > 5.0
+    assert "batch" in figure.render()
+
+
+def test_e3_characterization(tiny_config):
+    figure = run_e3(tiny_config)
+    assert figure.summary.n_users == tiny_config.n_users
+    assert figure.summary.day_over_day_autocorrelation > 0.3
+    assert figure.peak_to_trough > 3.0     # strong diurnal rhythm
+    quantiles = [v for _, v in figure.slots_cdf_probes]
+    assert quantiles == sorted(quantiles)
+    assert "characterization" in figure.render()
+
+
+def test_e4_prediction_figure(tiny_config):
+    figure = run_e4(tiny_config, models=("last_value", "time_of_day",
+                                         "oracle"))
+    assert figure.summary_for("oracle").mae == 0.0
+    assert (figure.summary_for("time_of_day").rmse
+            < figure.summary_for("last_value").rmse)
+    with pytest.raises(KeyError):
+        figure.summary_for("nope")
+    assert "accuracy" in figure.render()
+
+
+def test_registry_is_complete():
+    ids = experiment_ids()
+    assert ids == [f"e{i}" for i in range(1, 13)] + ["x1", "x2"]
+    for eid in ids:
+        assert EXPERIMENTS[eid].title
+        assert EXPERIMENTS[eid].paper_artifact
+
+
+def test_run_experiment_dispatch(tiny_config):
+    figure = run_experiment("e2", tiny_config)
+    assert figure.batches
+    with pytest.raises(KeyError):
+        run_experiment("e99")

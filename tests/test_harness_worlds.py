@@ -1,0 +1,67 @@
+"""Tests for world construction (caching, radio mixes, determinism)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import clear_world_cache, get_world
+from repro.radio.profiles import THREE_G, WIFI
+
+
+def test_wifi_fraction_assigns_profiles():
+    config = ExperimentConfig(n_users=60, n_days=6, train_days=3, seed=3,
+                              wifi_fraction=0.4)
+    world = get_world(config)
+    wifi_users = [uid for uid, p in world.profile_of.items() if p is WIFI]
+    cellular = [uid for uid, p in world.profile_of.items() if p is THREE_G]
+    assert len(wifi_users) + len(cellular) == 60
+    assert 10 <= len(wifi_users) <= 40     # ~40% +- sampling noise
+
+
+def test_wifi_fraction_changes_world_key():
+    a = ExperimentConfig(n_users=10, n_days=6, train_days=3,
+                         wifi_fraction=0.0)
+    b = a.variant(wifi_fraction=0.5)
+    assert a.world_key() != b.world_key()
+    assert get_world(a) is not get_world(b)
+
+
+def test_wifi_fraction_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(wifi_fraction=1.5)
+
+
+def test_radio_assignment_is_deterministic():
+    config = ExperimentConfig(n_users=40, n_days=6, train_days=3, seed=9,
+                              wifi_fraction=0.3)
+    first = dict(get_world(config).profile_of)
+    clear_world_cache()
+    second = dict(get_world(config).profile_of)
+    assert {u: p.name for u, p in first.items()} == {
+        u: p.name for u, p in second.items()}
+
+
+def test_radio_assignment_independent_of_trace():
+    """The same seed yields the same trace whether or not users are on
+    WiFi (the assignment stream must not perturb trace generation)."""
+    base = ExperimentConfig(n_users=30, n_days=6, train_days=3, seed=77)
+    mixed = base.variant(wifi_fraction=0.5)
+    clear_world_cache()
+    trace_a = get_world(base).trace
+    trace_b = get_world(mixed).trace
+    sessions_a = [(s.user_id, s.start) for s in trace_a.all_sessions()]
+    sessions_b = [(s.user_id, s.start) for s in trace_b.all_sessions()]
+    assert sessions_a == sessions_b
+
+
+def test_stream_collapse_follows_user_profile():
+    """Streaming apps collapse to spans on 3G (4 s < 5 s tail) but stay
+    discrete on WiFi (4 s > 0.24 s tail)."""
+    from repro.client.timeline import KIND_APP_STREAM
+
+    config = ExperimentConfig(n_users=60, n_days=6, train_days=3, seed=3,
+                              wifi_fraction=0.4)
+    world = get_world(config)
+    for uid, timeline in world.timelines.items():
+        has_stream = bool((timeline.kinds == KIND_APP_STREAM).any())
+        if world.profile_of[uid] is WIFI:
+            assert not has_stream

@@ -1,0 +1,118 @@
+"""Integration tests: full prefetch and realtime runs on a tiny world.
+
+These exercise every module together and assert the *accounting
+invariants* that must hold for any trace, plus the paper's qualitative
+claims at miniature scale.
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    get_world,
+    run_headline,
+    run_prefetch,
+    run_prefetch_instrumented,
+    run_realtime,
+)
+
+
+@pytest.fixture(scope="module")
+def headline(tiny_config, tiny_world):
+    return run_headline(tiny_config, tiny_world)
+
+
+def test_world_is_cached_and_deterministic(tiny_config):
+    assert get_world(tiny_config) is get_world(tiny_config)
+
+
+def test_slot_conservation(headline, tiny_world, tiny_config):
+    """Every test-window slot is served exactly once, in both systems."""
+    p, r = headline.prefetch, headline.realtime
+    start = tiny_config.train_days * 86400.0
+    expected_slots = 0
+    for timeline in tiny_world.timelines.values():
+        mask = (timeline.times >= start) & ((timeline.kinds == 0)
+                                            | (timeline.kinds == 3))
+        expected_slots += int(mask.sum())
+    assert p.total_slots == expected_slots
+    assert r.total_slots == expected_slots
+
+
+def test_sla_accounting_consistent(headline):
+    sla = headline.prefetch.sla
+    assert sla.n_on_time + sla.n_violated == sla.n_sales
+    assert 0.0 <= sla.violation_rate <= 1.0
+
+
+def test_revenue_accounting_consistent(headline):
+    rev = headline.prefetch.revenue
+    assert rev.billed_prefetch >= 0 and rev.voided >= 0
+    assert rev.paid_impressions <= headline.prefetch.sla.n_sales
+    assert rev.total_billed == pytest.approx(
+        rev.billed_prefetch + rev.billed_fallback)
+    # Identity: every display of a sold-ahead ad is either the paid
+    # first impression or a duplicate.
+    p = headline.prefetch
+    assert (p.cached_displays + p.rescued_displays
+            == rev.paid_impressions + rev.duplicate_impressions)
+
+
+def test_paper_claims_hold_at_miniature_scale(headline):
+    assert headline.energy_savings > 0.35
+    assert headline.sla_violation_rate < 0.05
+    assert abs(headline.revenue_loss) < 0.10
+    assert headline.wakeup_reduction > 0.0
+
+
+def test_prefetch_reduces_ad_energy_not_app_energy(headline):
+    p, r = headline.prefetch.energy, headline.realtime.energy
+    assert p.ad_joules < r.ad_joules
+    # App *traffic* is identical in both runs; app *energy* can differ
+    # somewhat because marginal attribution shifts tail ownership when
+    # ad fetches disappear from between app requests (with fewer ad
+    # transfers keeping the radio warm, app requests pay more of their
+    # own promotions).
+    assert p.app_bytes == r.app_bytes
+    assert p.app_joules == pytest.approx(r.app_joules, rel=0.25)
+    assert p.app_joules >= r.app_joules * 0.98
+    # Total communication energy still falls.
+    assert p.communication_joules < r.communication_joules
+
+
+def test_runs_are_deterministic(tiny_config, tiny_world):
+    a = run_prefetch(tiny_config, tiny_world)
+    b = run_prefetch(tiny_config, tiny_world)
+    assert a.energy.ad_joules == pytest.approx(b.energy.ad_joules)
+    assert a.sla.n_violated == b.sla.n_violated
+    assert a.revenue.total_billed == pytest.approx(b.revenue.total_billed)
+    ra = run_realtime(tiny_config, tiny_world)
+    rb = run_realtime(tiny_config, tiny_world)
+    assert ra.billed_revenue == pytest.approx(rb.billed_revenue)
+
+
+def test_instrumented_run_exposes_consistent_state(tiny_config, tiny_world):
+    artifacts = run_prefetch_instrumented(tiny_config, tiny_world)
+    outcome = artifacts.outcome
+    assert len(artifacts.devices) == tiny_world.trace.n_users
+    assert len(artifacts.clients) == tiny_world.trace.n_users
+    server = artifacts.server
+    assert len(server.display_log) >= outcome.revenue.paid_impressions
+    assert server.syncs == outcome.syncs
+    client_displays = sum(c.stats.cached_displays + c.stats.rescued_displays
+                          for c in artifacts.clients.values())
+    assert client_displays == len(server.display_log)
+
+
+def test_oracle_dominates_learned_predictor(tiny_config, tiny_world):
+    from repro.baselines.presets import apply_preset
+    learned = run_headline(tiny_config, tiny_world)
+    oracle = run_headline(apply_preset("oracle", tiny_config), tiny_world)
+    assert oracle.energy_savings > learned.energy_savings
+
+
+def test_naive_prefetch_violates_far_more(tiny_config, tiny_world):
+    from repro.baselines.presets import apply_preset
+    full = run_headline(tiny_config, tiny_world)
+    naive = run_headline(apply_preset("naive-prefetch", tiny_config),
+                         tiny_world)
+    assert naive.sla_violation_rate > 5 * full.sla_violation_rate

@@ -1,0 +1,71 @@
+"""Unit tests for energy aggregation, outcomes, and table formatting."""
+
+import pytest
+
+from repro.client.device import Device
+from repro.metrics.energy import EnergyReport, aggregate_devices, energy_savings
+from repro.metrics.summary import fmt_pct, fmt_si, format_series, format_table
+from repro.radio.profiles import THREE_G
+
+
+def test_aggregate_devices_sums_tags():
+    d1 = Device("u1", THREE_G)
+    d1.ad_fetch(0.0, 4000)
+    d1.finish()
+    d2 = Device("u2", THREE_G)
+    d2.app_request(0.0, 9000)
+    d2.finish()
+    report = aggregate_devices([d1, d2], days=2.0)
+    assert report.n_users == 2
+    assert report.ad_joules == pytest.approx(
+        THREE_G.isolated_transfer_energy(4000))
+    assert report.app_joules == pytest.approx(
+        THREE_G.isolated_transfer_energy(9000))
+    assert report.wakeups == 2
+    assert report.ad_bytes == 4000 and report.app_bytes == 9000
+    assert report.communication_joules == pytest.approx(
+        report.ad_joules + report.app_joules)
+    assert 0.0 < report.ad_share_of_communication < 1.0
+    assert report.ad_joules_per_user_day() == pytest.approx(
+        report.ad_joules / 4.0)
+    assert report.wakeups_per_user_day() == pytest.approx(0.5)
+
+
+def test_energy_report_degenerate_cases():
+    empty = EnergyReport(0.0, 0.0, 0, 0, 0, 0, 0.0)
+    assert empty.ad_share_of_communication == 0.0
+    assert empty.ad_joules_per_user_day() == 0.0
+
+
+def test_energy_savings():
+    assert energy_savings(50.0, 100.0) == pytest.approx(0.5)
+    assert energy_savings(100.0, 0.0) == 0.0
+    assert energy_savings(120.0, 100.0) == pytest.approx(-0.2)
+
+
+def test_fmt_pct():
+    assert fmt_pct(0.1234) == "12.34%"
+    assert fmt_pct(0.5, 0) == "50%"
+
+
+def test_fmt_si():
+    assert fmt_si(12_345) == "12.35k"
+    assert fmt_si(3_400_000) == "3.40M"
+    assert fmt_si(2.5) == "2.50"
+    assert fmt_si(7_200_000_000) == "7.20G"
+
+
+def test_format_table_alignment_and_validation():
+    table = format_table(["a", "long header"], [["x", "1"], ["yy", "22"]],
+                         title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "long header" in lines[1]
+    assert len({len(line) for line in lines[1:]}) <= 2   # aligned widths
+    with pytest.raises(ValueError):
+        format_table(["a"], [["x", "y"]])
+
+
+def test_format_series():
+    out = format_series("S", [(1, 2.0), (2, 3.0)], x_label="k", y_label="v")
+    assert "S" in out and "k" in out and "v" in out

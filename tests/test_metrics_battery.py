@@ -1,0 +1,47 @@
+"""Unit tests for the battery-impact translation."""
+
+import pytest
+
+from repro.metrics.battery import (
+    DEFAULT_BATTERY_WH,
+    battery_impact,
+    savings_in_battery_terms,
+)
+from repro.metrics.energy import EnergyReport
+
+
+def _report(ad_joules: float, users: int = 10, days: float = 2.0):
+    return EnergyReport(ad_joules=ad_joules, app_joules=0.0, wakeups=0,
+                        ad_bytes=0, app_bytes=0, n_users=users, days=days)
+
+
+def test_percent_of_battery_by_hand():
+    # 1998 J/user/day on a 5.55 Wh (19980 J) battery = 10%.
+    report = _report(ad_joules=1998.0 * 20, users=10, days=2.0)
+    impact = battery_impact(report)
+    assert impact.joules_per_user_day == pytest.approx(1998.0)
+    assert impact.battery_joules == pytest.approx(
+        DEFAULT_BATTERY_WH * 3600.0)
+    assert impact.percent_of_battery_per_day == pytest.approx(0.1, rel=1e-3)
+
+
+def test_standby_hours_lost():
+    impact = battery_impact(_report(ad_joules=900.0 * 20))
+    # 900 J at 25 mW = 36000 s = 10 h of standby.
+    assert impact.standby_hours_lost(0.025) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        impact.standby_hours_lost(0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        battery_impact(_report(1.0), battery_wh=0.0)
+
+
+def test_savings_in_battery_terms():
+    prefetch = _report(ad_joules=500.0 * 20)
+    realtime = _report(ad_joules=1000.0 * 20)
+    after, before, saved = savings_in_battery_terms(prefetch, realtime)
+    assert saved == pytest.approx(
+        before.percent_of_battery_per_day - after.percent_of_battery_per_day)
+    assert saved > 0

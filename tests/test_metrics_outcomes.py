@@ -1,0 +1,67 @@
+"""Unit tests for outcome composition and comparison."""
+
+import pytest
+
+from repro.core.revenue import RevenueReport
+from repro.core.sla import SlaReport
+from repro.metrics.energy import EnergyReport
+from repro.metrics.outcomes import (
+    PrefetchOutcome,
+    RealtimeOutcome,
+    compare,
+)
+
+
+def _energy(ad=100.0, wakeups=10):
+    return EnergyReport(ad_joules=ad, app_joules=50.0, wakeups=wakeups,
+                        ad_bytes=1000, app_bytes=500, n_users=5, days=2.0)
+
+
+def _prefetch(ad=40.0, wakeups=4, billed=90.0, violated=1):
+    sla = SlaReport(n_sales=100, n_on_time=100 - violated,
+                    n_violated=violated, n_duplicates=2,
+                    mean_latency_s=600.0)
+    revenue = RevenueReport(
+        billed_prefetch=billed, billed_fallback=5.0, voided=2.0,
+        duplicate_impressions=2, duplicate_opportunity_cost=4.0,
+        paid_impressions=99, fallback_impressions=3, unfilled_slots=0)
+    return PrefetchOutcome(
+        energy=_energy(ad, wakeups), sla=sla, revenue=revenue,
+        cached_displays=95, rescued_displays=6, fallback_displays=3,
+        house_displays=1, wasted_downloads=7, mean_replication=1.2,
+        syncs=40)
+
+
+def _realtime(ad=100.0, wakeups=10, billed=100.0):
+    return RealtimeOutcome(energy=_energy(ad, wakeups),
+                           billed_revenue=billed, impressions=105,
+                           unfilled_slots=0)
+
+
+def test_compare_headline_metrics():
+    comparison = compare(_prefetch(), _realtime())
+    assert comparison.energy_savings == pytest.approx(0.6)
+    assert comparison.revenue_loss == pytest.approx(1 - 95.0 / 100.0)
+    assert comparison.sla_violation_rate == pytest.approx(0.01)
+    assert comparison.wakeup_reduction == pytest.approx(0.6)
+
+
+def test_rates_and_totals():
+    outcome = _prefetch()
+    assert outcome.total_slots == 95 + 6 + 3 + 1
+    assert outcome.cache_hit_rate == pytest.approx(95 / 105)
+    assert outcome.prefetch_served_rate == pytest.approx(101 / 105)
+    realtime = _realtime()
+    assert realtime.total_slots == 105
+
+
+def test_wakeup_reduction_guards_zero_baseline():
+    comparison = compare(_prefetch(), _realtime(wakeups=0))
+    assert comparison.wakeup_reduction == 0.0
+
+
+def test_revenue_report_views():
+    revenue = _prefetch().revenue
+    assert revenue.total_billed == pytest.approx(95.0)
+    assert revenue.potential == pytest.approx(90 + 2 + 4 + 5)
+    assert revenue.internal_loss_rate == pytest.approx(6 / 101)

@@ -1,0 +1,65 @@
+"""Assorted small-surface unit tests (registries, events, rendering)."""
+
+import pytest
+
+from repro.prediction.base import SlotPredictor, register_predictor
+from repro.sim.events import (
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
+    make_event,
+)
+
+
+def test_duplicate_predictor_registration_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        @register_predictor("time_of_day")
+        class Clash(SlotPredictor):   # pragma: no cover - never registered
+            def observe(self, epoch_index, actual):
+                pass
+
+            def predict(self, epoch_index):
+                return 0.0
+
+
+def test_event_ordering_fields():
+    early = make_event(1.0, lambda: None)
+    late = make_event(2.0, lambda: None)
+    assert early < late
+    urgent = make_event(1.0, lambda: None, priority=PRIORITY_HIGH)
+    normal = make_event(1.0, lambda: None, priority=PRIORITY_NORMAL)
+    assert urgent < normal
+    # Equal time+priority: sequence numbers break the tie (FIFO).
+    first = make_event(3.0, lambda: None)
+    second = make_event(3.0, lambda: None)
+    assert first < second
+
+
+def test_cancelled_event_fire_is_noop():
+    hits = []
+    event = make_event(0.0, hits.append, (1,))
+    event.cancel()
+    event.fire()
+    assert hits == []
+    live = make_event(0.0, hits.append, (2,))
+    live.fire()
+    assert hits == [2]
+
+
+def test_e1_render_lists_every_app():
+    from repro.experiments.e1_app_energy import run_e1
+    from repro.workloads.appstore import TOP15
+
+    rendered = run_e1().render()
+    for app in TOP15:
+        assert app.app_id in rendered
+
+
+def test_registered_predictor_names_round_trip():
+    from repro.prediction.base import make_predictor, predictor_names
+
+    for name in predictor_names():
+        if name == "day_of_week":
+            continue   # registered by an example module in some runs
+        predictor = make_predictor(name, 3600.0)
+        assert predictor.registry_name == name
+        assert predictor.predict(0) >= 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for prediction-error bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.errors import (
+    PredictionLog,
+    error_cdf,
+    normalized_error,
+    summarize_log,
+)
+
+
+def _log(pairs, model="m") -> PredictionLog:
+    log = PredictionLog(model)
+    for predicted, actual in pairs:
+        log.record(predicted, actual)
+    return log
+
+
+def test_record_and_residuals():
+    log = _log([(3.0, 2), (1.0, 4)])
+    assert len(log) == 2
+    assert log.residuals().tolist() == [1.0, -3.0]
+    with pytest.raises(ValueError):
+        log.record(-1.0, 2)
+
+
+def test_summary_by_hand():
+    log = _log([(5.0, 5), (7.0, 5), (3.0, 5), (5.0, 6)])
+    s = summarize_log(log)
+    assert s.n == 4
+    assert s.mae == pytest.approx((0 + 2 + 2 + 1) / 4)
+    assert s.rmse == pytest.approx(np.sqrt((0 + 4 + 4 + 1) / 4))
+    assert s.bias == pytest.approx((0 + 2 - 2 - 1) / 4)
+    assert s.over_rate == pytest.approx(0.25)
+    assert s.under_rate == pytest.approx(0.5)
+    assert s.exact_rate == pytest.approx(0.25)
+
+
+def test_summary_rejects_empty_log():
+    with pytest.raises(ValueError):
+        summarize_log(PredictionLog("m"))
+
+
+def test_error_cdf_sorted_and_complete():
+    log = _log([(2.0, 0), (0.0, 1), (5.0, 5)])
+    values, probs = error_cdf(log)
+    assert values.tolist() == [0.0, 1.0, 2.0]
+    assert probs[-1] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        error_cdf(PredictionLog("m"))
+
+
+def test_normalized_error_guards_zero_actuals():
+    log = _log([(2.0, 0), (4.0, 2)])
+    ne = normalized_error(log)
+    assert ne.tolist() == [2.0, 1.0]
+
+
+def test_merge_pools_same_model_only():
+    a = _log([(1.0, 1)], model="x")
+    b = _log([(2.0, 2)], model="x")
+    merged = a.merged(b)
+    assert len(merged) == 2
+    c = _log([(1.0, 1)], model="y")
+    with pytest.raises(ValueError):
+        a.merged(c)

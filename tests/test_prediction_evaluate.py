@@ -1,0 +1,76 @@
+"""Unit tests for the offline predictor evaluation harness."""
+
+import pytest
+
+from repro.prediction.evaluate import (
+    EvaluationConfig,
+    compare_models,
+    evaluate_model,
+    train_test_epoch_counts,
+)
+from repro.traces.stats import refresh_map
+from repro.workloads.appstore import TOP15
+
+
+@pytest.fixture(scope="module")
+def eval_config():
+    return EvaluationConfig(epoch_s=3600.0, train_days=3)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EvaluationConfig(train_days=0)
+    with pytest.raises(ValueError):
+        EvaluationConfig(epoch_s=5000.0)
+
+
+def test_oracle_has_zero_error(tiny_world, eval_config):
+    log = evaluate_model("oracle", tiny_world.trace, tiny_world.refresh_of,
+                         eval_config)
+    assert len(log) > 0
+    assert abs(log.residuals()).max() == 0.0
+
+
+def test_evaluation_covers_all_test_epochs(tiny_world, tiny_config,
+                                           eval_config):
+    log = evaluate_model("ewma", tiny_world.trace, tiny_world.refresh_of,
+                         eval_config)
+    test_epochs = (tiny_config.n_days - eval_config.train_days) * 24
+    assert len(log) == tiny_world.trace.n_users * test_epochs
+
+
+def test_train_days_must_leave_test_epochs(tiny_world):
+    config = EvaluationConfig(epoch_s=3600.0, train_days=6)
+    with pytest.raises(ValueError):
+        evaluate_model("ewma", tiny_world.trace, tiny_world.refresh_of,
+                       config)
+
+
+def test_informed_models_beat_naive_on_rmse(tiny_world, eval_config):
+    summaries = compare_models(["last_value", "time_of_day", "oracle"],
+                               tiny_world.trace, tiny_world.refresh_of,
+                               eval_config)
+    by_model = {s.model: s for s in summaries}
+    assert by_model["oracle"].rmse == 0.0
+    assert by_model["time_of_day"].rmse < by_model["last_value"].rmse
+    # Sorted by MAE ascending.
+    maes = [s.mae for s in summaries]
+    assert maes == sorted(maes)
+
+
+def test_train_test_epoch_counts_geometry(tiny_world, eval_config):
+    counts, first_test = train_test_epoch_counts(
+        tiny_world.trace, tiny_world.refresh_of, eval_config)
+    assert first_test == 3 * 24
+    series = next(iter(counts.values()))
+    assert series.size == tiny_world.trace.n_days * 24
+
+
+def test_total_slots_conserved(tiny_world, eval_config):
+    counts, _ = train_test_epoch_counts(tiny_world.trace,
+                                        tiny_world.refresh_of, eval_config)
+    total = sum(int(series.sum()) for series in counts.values())
+    refresh = refresh_map(TOP15)
+    expected = sum(
+        len(user.slots(refresh)) for user in tiny_world.trace.users.values())
+    assert total == expected

@@ -1,0 +1,129 @@
+"""Unit tests for the slot-predictor suite."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.base import epochs_per_day, make_predictor, predictor_names
+from repro.prediction.models import (
+    EwmaTimeOfDayPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    QuantilePredictor,
+    TimeOfDayMeanPredictor,
+    ZeroPredictor,
+)
+
+HOUR = 3600.0
+
+
+def test_epochs_per_day_validation():
+    assert epochs_per_day(3600.0) == 24
+    assert epochs_per_day(1800.0) == 48
+    with pytest.raises(ValueError):
+        epochs_per_day(0.0)
+    with pytest.raises(ValueError):
+        epochs_per_day(5000.0)   # does not divide a day
+
+
+def test_registry_contains_all_models():
+    assert {"zero", "last_value", "global_mean", "time_of_day", "ewma",
+            "markov", "quantile", "hybrid", "oracle"} <= set(predictor_names())
+    with pytest.raises(KeyError):
+        make_predictor("nope", HOUR)
+
+
+def test_zero_predictor():
+    p = ZeroPredictor(HOUR)
+    p.observe(0, 100)
+    assert p.predict(1) == 0.0
+
+
+def test_last_value_predictor():
+    p = LastValuePredictor(HOUR)
+    assert p.predict(0) == 0.0
+    p.observe(0, 7)
+    assert p.predict(1) == 7.0
+    p.observe(1, 2)
+    assert p.predict(2) == 2.0
+
+
+def test_global_mean_predictor():
+    p = make_predictor("global_mean", HOUR)
+    for epoch, actual in enumerate([4, 8, 0]):
+        p.observe(epoch, actual)
+    assert p.predict(3) == pytest.approx(4.0)
+
+
+def test_time_of_day_mean_learns_per_hour():
+    p = TimeOfDayMeanPredictor(HOUR)
+    # Hour 9 of day 0 and day 1: counts 10 and 20; hour 3 always 0.
+    p.observe(9, 10)
+    p.observe(3, 0)
+    p.observe(24 + 9, 20)
+    assert p.predict(48 + 9) == pytest.approx(15.0)
+    assert p.predict(48 + 3) == 0.0
+    assert p.predict(48 + 5) == 0.0      # never observed -> 0
+
+
+def test_ewma_weights_recent_days_more():
+    p = EwmaTimeOfDayPredictor(HOUR, alpha=0.5)
+    p.observe(9, 10)
+    p.observe(24 + 9, 20)
+    assert p.predict(48 + 9) == pytest.approx(15.0)
+    p.observe(48 + 9, 20)
+    assert p.predict(72 + 9) == pytest.approx(17.5)
+    with pytest.raises(ValueError):
+        EwmaTimeOfDayPredictor(HOUR, alpha=0.0)
+
+
+def test_markov_blends_transition_and_time_of_day():
+    p = MarkovPredictor(HOUR, blend=1.0)
+    # Alternate 0 and 8: after a 0 epoch the model should expect ~8.
+    for epoch in range(40):
+        p.observe(epoch, 0 if epoch % 2 == 0 else 8)
+    # Current state after epoch 39 (count 8) -> next likely 0.
+    assert p.predict(40) < 2.0
+    p.observe(40, 0)
+    assert p.predict(41) > 4.0
+
+
+def test_quantile_predictor_is_conservative():
+    p = QuantilePredictor(HOUR, q=0.25)
+    for day in range(8):
+        p.observe(day * 24 + 9, [0, 0, 10, 10, 10, 10, 10, 10][day])
+    median_model = QuantilePredictor(HOUR, q=0.9)
+    for day in range(8):
+        median_model.observe(day * 24 + 9, [0, 0, 10, 10, 10, 10, 10, 10][day])
+    assert p.predict(8 * 24 + 9) <= median_model.predict(8 * 24 + 9)
+    with pytest.raises(ValueError):
+        QuantilePredictor(HOUR, q=1.0)
+
+
+def test_quantile_history_is_bounded():
+    p = QuantilePredictor(HOUR, q=0.5, max_history=5)
+    for day in range(20):
+        p.observe(day * 24, day)
+    assert p.predict(20 * 24) == pytest.approx(np.quantile(range(15, 20), 0.5))
+
+
+def test_hybrid_is_convex_blend():
+    p = make_predictor("hybrid", HOUR, weight_tod=0.5)
+    p.observe(9, 10)             # tod[9]=10, last=10
+    p.observe(10, 4)             # last=4
+    assert p.predict(24 + 9) == pytest.approx(0.5 * 10 + 0.5 * 4)
+
+
+def test_oracle_returns_truth():
+    p = OraclePredictor(HOUR)
+    p.set_truth([3, 1, 4, 1, 5], start_epoch=10)
+    assert p.predict(12) == 4.0
+    assert p.predict(999) == 0.0
+    p.observe(999, 7)
+    assert p.predict(999) == 7.0
+
+
+def test_warm_up_feeds_history():
+    p = TimeOfDayMeanPredictor(HOUR)
+    p.warm_up([5] * 24, start_epoch=0)
+    assert p.predict(24 + 9) == pytest.approx(5.0)

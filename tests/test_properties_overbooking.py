@@ -1,0 +1,148 @@
+"""Property-based tests of the overbooking planner and settlement.
+
+Hypothesis generates arbitrary forecasts, curves, and sale batches; the
+planner's structural invariants must hold for all of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overbooking import (
+    ClientForecast,
+    GreedyBackfillPolicy,
+    NoReplicationPolicy,
+    RandomKPolicy,
+    StaggeredPolicy,
+)
+from repro.core.sla import DisplayLog, settle_sla
+from repro.exchange.marketplace import Sale
+from repro.sim.rng import RngRegistry
+
+
+class ParamCurve:
+    """Geometric show curve: p(j) = base * decay^(j-1)."""
+
+    def __init__(self, base: float, decay: float) -> None:
+        self.base = base
+        self.decay = decay
+
+    def sla(self, predicted: float, j: int) -> float:
+        if j <= 0:
+            return 1.0
+        scale = min(1.0, 0.1 + predicted / 10.0)
+        return max(0.0, min(1.0, self.base * scale * self.decay ** (j - 1)))
+
+    def epoch(self, predicted: float, j: int) -> float:
+        return 0.5 * self.sla(predicted, j)
+
+    def at_least(self, predicted: float, j: int) -> float:
+        return self.sla(predicted, j)
+
+
+forecast_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=40.0),   # predicted
+        st.integers(min_value=0, max_value=12),     # capacity
+        st.integers(min_value=0, max_value=5),      # backlog
+    ),
+    min_size=1, max_size=12,
+).map(lambda spec: [
+    ClientForecast(f"u{i}", predicted, backlog=backlog, capacity=capacity)
+    for i, (predicted, capacity, backlog) in enumerate(spec)
+])
+
+sale_batches = st.lists(
+    st.floats(min_value=0.1, max_value=50.0),
+    min_size=0, max_size=25,
+).map(lambda prices: [
+    Sale(sale_id=i, campaign_id="c", price=p, creative_bytes=4000,
+         sold_at=0.0, deadline=3600.0)
+    for i, p in enumerate(prices)
+])
+
+curves = st.builds(ParamCurve,
+                   base=st.floats(min_value=0.05, max_value=0.99),
+                   decay=st.floats(min_value=0.5, max_value=1.0))
+
+policies = st.sampled_from([
+    StaggeredPolicy(epsilon=0.05, max_replicas=4),
+    GreedyBackfillPolicy(epsilon=0.05, max_replicas=4),
+    NoReplicationPolicy(),
+    RandomKPolicy(k=2, epsilon=0.05, max_replicas=4),
+])
+
+
+def _plan(policy, sales, forecasts, curve):
+    rng = RngRegistry(11).fresh("prop")
+    return policy.plan(sales, forecasts, curve, rng=rng,
+                       standby_until=1800.0)
+
+
+@given(policy=policies, sales=sale_batches, forecasts=forecast_lists,
+       curve=curves)
+@settings(max_examples=200, deadline=None)
+def test_plan_structural_invariants(policy, sales, forecasts, curve):
+    plan = _plan(policy, sales, forecasts, curve)
+    capacity = {f.client_id: f.capacity for f in forecasts}
+    # 1. Capacity respected per client.
+    for client_id, queue in plan.queues.items():
+        assert len(queue) <= capacity[client_id]
+    # 2. Every sale either placed or reported unplaced, never both.
+    placed_ids = set(plan.replicas)
+    unplaced_ids = {s.sale_id for s in plan.unplaced}
+    assert placed_ids.isdisjoint(unplaced_ids)
+    assert placed_ids | unplaced_ids == {s.sale_id for s in sales}
+    # 3. No client hosts the same sale twice.
+    for sale_id, owners in plan.replicas.items():
+        assert len(owners) == len(set(owners))
+        assert 1 <= len(owners) <= policy.max_replicas
+    # 4. Queues contain exactly the replica assignments.
+    queued = sorted(a.sale_id for q in plan.queues.values() for a in q)
+    replicated = sorted(sid for sid, owners in plan.replicas.items()
+                        for _ in owners)
+    assert queued == replicated
+    # 5. Expected violations are probabilities.
+    for value in plan.expected_violation.values():
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@given(sales=sale_batches, forecasts=forecast_lists, curve=curves)
+@settings(max_examples=100, deadline=None)
+def test_more_replicas_never_raise_expected_violation(sales, forecasts,
+                                                      curve):
+    lone = _plan(NoReplicationPolicy(), sales, forecasts, curve)
+    many = _plan(StaggeredPolicy(epsilon=1e-6, max_replicas=4), sales,
+                 forecasts, curve)
+    for sale_id, violation in many.expected_violation.items():
+        if sale_id in lone.expected_violation:
+            assert violation <= lone.expected_violation[sale_id] + 1e-9
+
+
+display_plans = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10),     # sale_id
+              st.floats(min_value=0.0, max_value=200.0)),  # time
+    max_size=40,
+)
+
+
+@given(displays=display_plans,
+       deadlines=st.lists(st.floats(min_value=1.0, max_value=150.0),
+                          min_size=11, max_size=11))
+@settings(max_examples=200, deadline=None)
+def test_settlement_partition_property(displays, deadlines):
+    """settle_sla partitions sales exactly into on-time and violated,
+    and duplicates equal displays minus first-displays."""
+    sales = [Sale(sale_id=i, campaign_id="c", price=1.0, creative_bytes=1,
+                  sold_at=0.0, deadline=deadlines[i]) for i in range(11)]
+    log = DisplayLog()
+    for sale_id, time in displays:
+        log.record(sale_id, "u", time)
+    outcomes, report = settle_sla(sales, log)
+    assert report.n_on_time + report.n_violated == 11
+    total_displays = len(displays)
+    firsts = len({sid for sid, _ in displays})
+    assert report.n_duplicates == total_displays - firsts
+    for outcome in outcomes:
+        if outcome.first_shown_at is not None:
+            assert outcome.on_time == (
+                outcome.first_shown_at <= outcome.sale.deadline)

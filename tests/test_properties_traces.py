@@ -1,0 +1,84 @@
+"""Property-based tests for trace generation and show-curve windows."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.showcurve import WindowedShowCurveEstimator
+from repro.sim.rng import RngRegistry
+from repro.traces.generator import TraceConfig, TraceGenerator
+from repro.traces.schema import SECONDS_PER_DAY
+from repro.traces.stats import epoch_slot_counts, refresh_map
+from repro.workloads.appstore import TOP15
+from repro.workloads.population import PopulationConfig, build_population
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_users=st.integers(min_value=1, max_value=12),
+       n_days=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_generated_traces_always_valid(seed, n_users, n_days):
+    registry = RngRegistry(seed)
+    population = build_population(PopulationConfig(n_users=n_users),
+                                  registry.stream("pop"))
+    config = TraceConfig(n_days=n_days)
+    trace = TraceGenerator(TOP15, config, registry.stream("trace")).generate(
+        population)
+    assert set(trace.users) == {u.user_id for u in population}
+    horizon = n_days * SECONDS_PER_DAY
+    for session in trace.all_sessions():
+        assert 0.0 <= session.start < horizon
+        assert session.end <= horizon
+        assert session.duration >= config.min_session_s
+    # Epoch counts conserve total slots for any epoch length that
+    # divides a day.
+    refresh = refresh_map(TOP15)
+    for epoch_s in (1800.0, 3600.0, 7200.0):
+        counts = epoch_slot_counts(trace, refresh, epoch_s)
+        total = sum(int(v.sum()) for v in counts.values())
+        expected = sum(len(u.slots(refresh)) for u in trace.users.values())
+        assert total == expected
+
+
+@given(observations=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=30.0),   # predicted
+              st.integers(min_value=0, max_value=20)),     # actual
+    min_size=1, max_size=120),
+    max_window=st.integers(min_value=1, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_windowed_curve_invariants(observations, max_window):
+    curve = WindowedShowCurveEstimator(max_window=max_window, min_samples=3)
+    for predicted, actual in observations:
+        curve.observe("u", predicted, actual)
+    for predicted in (0.0, 1.0, 5.0, 20.0):
+        previous_value = None
+        for window in range(1, max_window + 1):
+            # Monotone non-increasing in depth j.
+            values = [curve.at_least(predicted, j, window)
+                      for j in range(1, 10)]
+            assert all(0.0 <= v <= 1.0 + 1e-12 for v in values)
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        # Monotone non-decreasing in window length at fixed depth, for
+        # fully-empirical buckets (rolling sums only grow). Blended
+        # buckets may not be monotone, so only check with dense data.
+        if len(observations) >= 60:
+            same_pred = [a for p, a in observations
+                         if curve._curves[1].bucket_of(p)
+                         == curve._curves[1].bucket_of(5.0)]
+            if len(same_pred) >= 20:
+                values = [curve.at_least(5.0, 2, w)
+                          for w in range(1, max_window + 1)]
+                assert all(a <= b + 0.35 for a, b in zip(values, values[1:]))
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_population_profiles_are_valid_distributions(seed):
+    registry = RngRegistry(seed)
+    population = build_population(PopulationConfig(n_users=8),
+                                  registry.stream("pop"))
+    for user in population:
+        assert abs(sum(user.app_weights) - 1.0) < 1e-9
+        pmf = user.diurnal.hourly_pmf()
+        assert abs(float(np.sum(pmf)) - 1.0) < 1e-9
+        assert user.sessions_per_day > 0

@@ -1,0 +1,67 @@
+"""Unit tests for the energy helper functions (E2's building blocks)."""
+
+import pytest
+
+from repro.radio.energy import (
+    amortization_series,
+    batched_fetch_energy,
+    energy_of_schedule,
+    energy_per_ad,
+    periodic_fetch_energy,
+)
+from repro.radio.profiles import LTE, THREE_G
+
+
+def test_periodic_fetches_beyond_tail_cost_full_price_each():
+    period = THREE_G.tail_time + 10.0
+    total = periodic_fetch_energy(THREE_G, 4000, period, 5)
+    assert total == pytest.approx(
+        5 * THREE_G.isolated_transfer_energy(4000), rel=1e-6)
+
+
+def test_periodic_fetches_within_tail_share_costs():
+    tight = periodic_fetch_energy(THREE_G, 4000, 3.0, 5)
+    loose = periodic_fetch_energy(THREE_G, 4000, THREE_G.tail_time + 5.0, 5)
+    assert tight < loose
+
+
+def test_batched_energy_one_promo_one_tail():
+    batch = batched_fetch_energy(THREE_G, 4000, 10)
+    expected = (THREE_G.promo_energy
+                + 10 * THREE_G.active_power * THREE_G.transfer_time(4000)
+                + THREE_G.tail_energy)
+    assert batch == pytest.approx(expected)
+
+
+def test_energy_per_ad_strictly_decreasing_in_batch():
+    series = amortization_series(THREE_G, 4000, [1, 2, 5, 10, 20])
+    values = [v for _, v in series]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    assert series[0][1] == pytest.approx(THREE_G.isolated_transfer_energy(4000))
+
+
+def test_amortization_is_large_for_cellular():
+    per_1 = energy_per_ad(THREE_G, 4000, 1)
+    per_20 = energy_per_ad(THREE_G, 4000, 20)
+    assert per_1 / per_20 > 5.0
+    per_1_lte = energy_per_ad(LTE, 4000, 1)
+    per_20_lte = energy_per_ad(LTE, 4000, 20)
+    assert per_1_lte / per_20_lte > 5.0
+
+
+def test_energy_per_ad_rejects_non_positive_batch():
+    with pytest.raises(ValueError):
+        energy_per_ad(THREE_G, 4000, 0)
+
+
+def test_zero_counts_cost_nothing():
+    assert periodic_fetch_energy(THREE_G, 4000, 30.0, 0) == 0.0
+    assert batched_fetch_energy(THREE_G, 4000, 0) == 0.0
+
+
+def test_energy_of_schedule_splits_tags():
+    fetches = [(0.0, 4000, "ad"), (120.0, 9000, "app"), (240.0, 4000, "ad")]
+    by_tag = energy_of_schedule(THREE_G, fetches)
+    assert set(by_tag) == {"ad", "app"}
+    assert by_tag["ad"] == pytest.approx(
+        2 * THREE_G.isolated_transfer_energy(4000))

@@ -1,0 +1,78 @@
+"""Unit tests for radio power/timing profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.radio.profiles import (
+    LTE,
+    PROFILES,
+    THREE_G,
+    THREE_G_FAST_DORMANCY,
+    WIFI,
+    get_profile,
+)
+
+
+def test_builtin_profiles_registered():
+    assert set(PROFILES) == {"3g", "3g-fd", "lte", "wifi"}
+    assert get_profile("3g") is THREE_G
+    assert get_profile("3g-fd") is THREE_G_FAST_DORMANCY
+    assert get_profile("lte") is LTE
+    assert get_profile("wifi") is WIFI
+
+
+def test_fast_dormancy_cuts_tail_not_promotion():
+    assert THREE_G_FAST_DORMANCY.tail_energy < 0.3 * THREE_G.tail_energy
+    assert THREE_G_FAST_DORMANCY.promo_energy == THREE_G.promo_energy
+    # An isolated fetch still costs several joules (the promotion).
+    isolated = THREE_G_FAST_DORMANCY.isolated_transfer_energy(4000)
+    assert 2.0 < isolated < 0.6 * THREE_G.isolated_transfer_energy(4000)
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError, match="unknown radio profile"):
+        get_profile("5g")
+
+
+def test_tail_energy_matches_components():
+    p = THREE_G
+    expected = (p.high_tail_power * p.high_tail_time
+                + p.low_tail_power * p.low_tail_time)
+    assert p.tail_energy == pytest.approx(expected)
+    assert p.tail_time == pytest.approx(p.high_tail_time + p.low_tail_time)
+
+
+def test_transfer_time_scales_with_bytes():
+    p = THREE_G
+    assert p.transfer_time(0) == pytest.approx(p.rtt)
+    one_mb = p.transfer_time(1_000_000)
+    assert one_mb == pytest.approx(p.rtt + 1_000_000 / p.throughput)
+    assert p.transfer_time(2_000_000) > one_mb
+
+
+def test_transfer_time_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        THREE_G.transfer_time(-1)
+
+
+def test_isolated_transfer_energy_decomposition():
+    p = THREE_G
+    energy = p.isolated_transfer_energy(4000)
+    expected = (p.promo_energy + p.active_power * p.transfer_time(4000)
+                + p.tail_energy)
+    assert energy == pytest.approx(expected)
+    # The tail dominates a small ad fetch — the paper's core observation.
+    assert p.tail_energy > 0.5 * energy
+
+
+def test_wifi_tail_is_tiny_compared_to_cellular():
+    assert WIFI.tail_energy < 0.05 * THREE_G.tail_energy
+    assert WIFI.isolated_transfer_energy(4000) < THREE_G.isolated_transfer_energy(4000)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        dataclasses.replace(THREE_G, throughput=0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(THREE_G, promo_time=-1.0)

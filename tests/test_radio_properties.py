@@ -1,0 +1,112 @@
+"""Property-based tests of the radio energy accountant.
+
+The marginal-attribution invariants must hold for *any* chronological
+transfer pattern, so we let hypothesis generate the patterns.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.profiles import LTE, THREE_G, WIFI
+from repro.radio.statemachine import RadioStateMachine
+
+profiles = st.sampled_from([THREE_G, LTE, WIFI])
+
+transfer_plan = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=120.0),   # gap to next request
+        st.integers(min_value=0, max_value=200_000),  # bytes
+        st.sampled_from(["ad", "app"]),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _replay(profile, plan):
+    machine = RadioStateMachine(profile)
+    t = 0.0
+    for gap, nbytes, tag in plan:
+        t += gap
+        machine.transfer(t, nbytes, tag)
+    machine.finalize()
+    return machine
+
+
+@given(profile=profiles, plan=transfer_plan)
+@settings(max_examples=150, deadline=None)
+def test_per_tag_energy_sums_to_total(profile, plan):
+    machine = _replay(profile, plan)
+    by_tag = machine.energy_by_tag()
+    assert math.isclose(sum(by_tag.values()),
+                        machine.communication_energy(), rel_tol=1e-9)
+    record_sum = sum(rec.energy for rec in machine.records)
+    assert math.isclose(record_sum, machine.communication_energy(),
+                        rel_tol=1e-9)
+
+
+@given(profile=profiles, plan=transfer_plan)
+@settings(max_examples=150, deadline=None)
+def test_every_charge_is_bounded_by_isolated_cost(profile, plan):
+    """No transfer can be charged more than a full cold fetch of itself;
+    energies are never negative."""
+    machine = _replay(profile, plan)
+    for rec in machine.records:
+        assert rec.energy >= 0.0
+        ceiling = profile.isolated_transfer_energy(rec.nbytes) + 1e-9
+        assert rec.energy <= ceiling
+
+
+@given(profile=profiles, plan=transfer_plan)
+@settings(max_examples=100, deadline=None)
+def test_wakeups_bounded_by_transfers(profile, plan):
+    machine = _replay(profile, plan)
+    assert 1 <= machine.wakeups <= len(plan)
+
+
+@given(profile=profiles,
+       nbytes=st.integers(min_value=0, max_value=100_000),
+       count=st.integers(min_value=1, max_value=30),
+       period=st.floats(min_value=0.1, max_value=300.0))
+@settings(max_examples=100, deadline=None)
+def test_batching_never_costs_more_than_spreading(profile, nbytes, count,
+                                                  period):
+    """Back-to-back fetches are always at most as expensive as the same
+    fetches spread out — prefetching can only help on the radio."""
+    from repro.radio.energy import batched_fetch_energy, periodic_fetch_energy
+    batched = batched_fetch_energy(profile, nbytes, count)
+    spread = periodic_fetch_energy(profile, nbytes, period, count)
+    assert batched <= spread + 1e-6
+
+
+@given(profile=profiles, plan=transfer_plan,
+       horizon_extra=st.floats(min_value=0.0, max_value=60.0))
+@settings(max_examples=100, deadline=None)
+def test_truncated_finalize_never_exceeds_full_tail(profile, plan,
+                                                    horizon_extra):
+    machine_full = _replay(profile, plan)
+    machine_cut = RadioStateMachine(profile)
+    t = 0.0
+    for gap, nbytes, tag in plan:
+        t += gap
+        rec = machine_cut.transfer(t, nbytes, tag)
+    machine_cut.finalize(end_time=rec.end_time + horizon_extra)
+    assert (machine_cut.communication_energy()
+            <= machine_full.communication_energy() + 1e-9)
+
+
+@given(plan=transfer_plan)
+@settings(max_examples=50, deadline=None)
+def test_timeline_is_contiguous_and_monotone(plan):
+    machine = RadioStateMachine(THREE_G, keep_timeline=True)
+    t = 0.0
+    for gap, nbytes, tag in plan:
+        t += gap
+        machine.transfer(t, nbytes, tag)
+    machine.finalize()
+    timeline = machine.timeline()
+    for prev, cur in zip(timeline, timeline[1:]):
+        assert cur.start >= prev.start
+        assert math.isclose(cur.start, prev.end, abs_tol=1e-9)
+        assert cur.end >= cur.start

@@ -1,0 +1,164 @@
+"""Unit tests for the RRC state machine and marginal attribution."""
+
+import pytest
+
+from repro.radio.profiles import THREE_G, WIFI
+from repro.radio.statemachine import (
+    STATE_ACTIVE,
+    STATE_HIGH_TAIL,
+    STATE_IDLE,
+    STATE_LOW_TAIL,
+    STATE_PROMO,
+    RadioStateMachine,
+)
+
+P = THREE_G
+
+
+def test_cold_start_pays_full_promotion_and_tail():
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    m.finalize()
+    assert rec.caused_wakeup
+    assert rec.promo_energy == pytest.approx(P.promo_energy)
+    assert rec.tail_energy == pytest.approx(P.tail_energy)
+    assert rec.energy == pytest.approx(P.isolated_transfer_energy(4000))
+    assert m.wakeups == 1
+
+
+def test_transfer_during_high_tail_skips_promotion():
+    m = RadioStateMachine(P)
+    first = m.transfer(0.0, 4000, "ad")
+    # Second transfer 2 s after the first ends: inside the DCH tail.
+    second = m.transfer(first.end_time + 2.0, 4000, "ad")
+    m.finalize()
+    assert second.promo_energy == 0.0
+    assert not second.caused_wakeup
+    # First transfer's tail truncated at 2 s of high-tail power.
+    assert first.tail_energy == pytest.approx(P.high_tail_power * 2.0)
+    assert m.wakeups == 1
+
+
+def test_transfer_during_low_tail_pays_cheap_promotion():
+    m = RadioStateMachine(P)
+    first = m.transfer(0.0, 4000, "ad")
+    gap = P.high_tail_time + 3.0   # inside the second (FACH) tail stage
+    second = m.transfer(first.end_time + gap, 4000, "ad")
+    m.finalize()
+    assert second.promo_energy == pytest.approx(
+        P.promo_power * P.promo_low_time)
+    assert not second.caused_wakeup
+    assert first.tail_energy == pytest.approx(
+        P.high_tail_power * P.high_tail_time + P.low_tail_power * 3.0)
+
+
+def test_transfer_after_full_tail_pays_everything_again():
+    m = RadioStateMachine(P)
+    first = m.transfer(0.0, 4000, "ad")
+    second = m.transfer(first.end_time + P.tail_time + 10.0, 4000, "ad")
+    m.finalize()
+    assert second.caused_wakeup
+    assert first.tail_energy == pytest.approx(P.tail_energy)
+    assert second.energy == pytest.approx(P.isolated_transfer_energy(4000))
+    assert m.wakeups == 2
+
+
+def test_queued_transfer_starts_after_inflight_one():
+    m = RadioStateMachine(P)
+    first = m.transfer(0.0, 1_000_000, "app")   # ~8 s active
+    second = m.transfer(first.start_time + 1.0, 4000, "ad")
+    assert second.start_time == pytest.approx(first.end_time)
+    assert second.promo_energy == 0.0
+
+
+def test_marginal_attribution_is_additive():
+    """Sum of per-tag charges equals total energy of the power timeline."""
+    m = RadioStateMachine(P)
+    t = 0.0
+    for i in range(20):
+        tag = "ad" if i % 3 == 0 else "app"
+        rec = m.transfer(t, 3000, tag)
+        t = rec.end_time + (i % 5) * 4.0
+    m.finalize()
+    by_tag = m.energy_by_tag()
+    assert set(by_tag) == {"ad", "app"}
+    assert sum(by_tag.values()) == pytest.approx(m.communication_energy())
+    record_total = sum(rec.energy for rec in m.records)
+    assert record_total == pytest.approx(m.communication_energy())
+
+
+def test_piggybacked_ad_is_far_cheaper_than_isolated():
+    """An ad fetched while app traffic keeps the radio hot costs ~nothing
+    extra — the piggybacking effect behind the 65% measurement."""
+    m = RadioStateMachine(P)
+    rec_app = m.transfer(0.0, 50_000, "app")
+    m.transfer(rec_app.end_time + 1.0, 4000, "ad")
+    m.transfer(rec_app.end_time + 3.0, 50_000, "app")
+    m.finalize()
+    ad_cost = m.energy_by_tag()["ad"]
+    assert ad_cost < 0.2 * P.isolated_transfer_energy(4000)
+
+
+def test_non_chronological_transfers_rejected():
+    m = RadioStateMachine(P)
+    m.transfer(10.0, 100, "ad")
+    with pytest.raises(ValueError, match="chronological"):
+        m.transfer(5.0, 100, "ad")
+
+
+def test_finalize_is_idempotent_and_blocks_more_transfers():
+    m = RadioStateMachine(P)
+    m.transfer(0.0, 100, "ad")
+    m.finalize()
+    m.finalize()
+    with pytest.raises(RuntimeError):
+        m.transfer(100.0, 100, "ad")
+
+
+def test_finalize_with_horizon_truncates_trailing_tail():
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    m.finalize(end_time=rec.end_time + 1.0)
+    assert rec.tail_energy == pytest.approx(P.high_tail_power * 1.0)
+
+
+def test_explicit_duration_override():
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 1000, "app", duration=300.0)
+    assert rec.end_time - rec.start_time == pytest.approx(300.0)
+    assert rec.active_energy == pytest.approx(P.active_power * 300.0)
+    with pytest.raises(ValueError):
+        m.transfer(400.0, 100, "app", duration=-1.0)
+
+
+def test_keep_records_false_still_accounts_energy():
+    m = RadioStateMachine(P, keep_records=False)
+    m.transfer(0.0, 4000, "ad")
+    m.finalize()
+    assert m.records == []
+    assert m.transfer_count == 1
+    assert m.energy_by_tag()["ad"] == pytest.approx(
+        P.isolated_transfer_energy(4000))
+
+
+def test_timeline_records_all_states_in_order():
+    m = RadioStateMachine(P, keep_timeline=True)
+    rec = m.transfer(5.0, 4000, "ad")
+    m.transfer(rec.end_time + P.tail_time + 30.0, 4000, "ad")
+    m.finalize()
+    states = [iv.state for iv in m.timeline()]
+    assert states[:5] == [STATE_IDLE, STATE_PROMO, STATE_ACTIVE,
+                          STATE_HIGH_TAIL, STATE_LOW_TAIL]
+    # Intervals must be contiguous and non-overlapping.
+    timeline = m.timeline()
+    for prev, cur in zip(timeline, timeline[1:]):
+        assert cur.start == pytest.approx(prev.end)
+    residency = m.state_residency()
+    assert residency[STATE_HIGH_TAIL] == pytest.approx(2 * P.high_tail_time)
+
+
+def test_single_tail_technology_has_no_low_tail():
+    m = RadioStateMachine(WIFI, keep_timeline=True)
+    m.transfer(0.0, 4000, "ad")
+    m.finalize()
+    assert STATE_LOW_TAIL not in m.state_residency()

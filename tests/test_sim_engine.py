@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(5.0, hits.append, (5,))
+    eng.schedule_at(1.0, hits.append, (1,))
+    eng.schedule_at(3.0, hits.append, (3,))
+    eng.run()
+    assert hits == [1, 3, 5]
+
+
+def test_simultaneous_events_respect_priority():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(1.0, hits.append, ("low",), priority=PRIORITY_LOW)
+    eng.schedule_at(1.0, hits.append, ("high",), priority=PRIORITY_HIGH)
+    eng.schedule_at(1.0, hits.append, ("normal",), priority=PRIORITY_NORMAL)
+    eng.run()
+    assert hits == ["high", "normal", "low"]
+
+
+def test_simultaneous_same_priority_is_fifo():
+    eng = Engine()
+    hits = []
+    for i in range(10):
+        eng.schedule_at(2.0, hits.append, (i,))
+    eng.run()
+    assert hits == list(range(10))
+
+
+def test_clock_advances_to_event_times():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(4.5, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [4.5]
+    assert eng.now == 4.5
+
+
+def test_schedule_after_uses_current_time():
+    eng = Engine(start_time=10.0)
+    hits = []
+    eng.schedule_after(2.5, hits.append, (1,))
+    eng.run()
+    assert eng.now == 12.5 and hits == [1]
+
+
+def test_scheduling_in_the_past_raises():
+    eng = Engine(start_time=5.0)
+    with pytest.raises(SimulationError):
+        eng.schedule_at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    hits = []
+    event = eng.schedule_at(1.0, hits.append, (1,))
+    eng.schedule_at(2.0, hits.append, (2,))
+    event.cancel()
+    eng.run()
+    assert hits == [2]
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(1.0, hits.append, (1,))
+    eng.schedule_at(10.0, hits.append, (10,))
+    eng.run(until=5.0)
+    assert hits == [1]
+    assert eng.now == 5.0
+    eng.run()
+    assert hits == [1, 10]
+
+
+def test_event_at_exact_until_boundary_fires():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(5.0, hits.append, (5,))
+    eng.run(until=5.0)
+    assert hits == [5]
+
+
+def test_events_can_schedule_more_events():
+    eng = Engine()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            eng.schedule_after(1.0, chain, (n + 1,))
+
+    eng.schedule_at(0.0, chain, (0,))
+    eng.run()
+    assert hits == [0, 1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_max_events_guard():
+    eng = Engine()
+
+    def forever():
+        eng.schedule_after(1.0, forever)
+
+    eng.schedule_at(0.0, forever)
+    eng.run(max_events=50)
+    assert eng.processed_events == 50
+
+
+def test_step_fires_one_event_and_reports_exhaustion():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(1.0, hits.append, (1,))
+    assert eng.step() is True
+    assert hits == [1]
+    assert eng.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    first = eng.schedule_at(1.0, lambda: None)
+    eng.schedule_at(2.0, lambda: None)
+    first.cancel()
+    assert eng.peek_time() == 2.0

@@ -1,0 +1,107 @@
+"""Unit tests for coroutine-style simulation processes."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.processes import every, spawn
+
+
+def test_single_process_ticks():
+    eng = Engine()
+    log = []
+
+    def worker():
+        for i in range(3):
+            yield 2.0
+            log.append((eng.now, i))
+
+    proc = spawn(eng, worker())
+    eng.run()
+    assert log == [(2.0, 0), (4.0, 1), (6.0, 2)]
+    assert not proc.alive
+    assert proc.steps == 3
+
+
+def test_processes_interleave_by_time():
+    eng = Engine()
+    log = []
+
+    def worker(name, period, count):
+        for _ in range(count):
+            yield period
+            log.append((eng.now, name))
+
+    spawn(eng, worker("fast", 1.0, 3))
+    spawn(eng, worker("slow", 2.5, 2))
+    eng.run()
+    assert log == [(1.0, "fast"), (2.0, "fast"), (2.5, "slow"),
+                   (3.0, "fast"), (5.0, "slow")]
+
+
+def test_start_delay():
+    eng = Engine()
+    seen = []
+
+    def worker():
+        yield 1.0
+        seen.append(eng.now)
+
+    spawn(eng, worker(), start_delay=10.0)
+    eng.run()
+    assert seen == [11.0]
+
+
+def test_zero_delay_yields_run_same_timestamp():
+    eng = Engine()
+    seen = []
+
+    def worker():
+        yield 0.0
+        seen.append(eng.now)
+        yield 0.0
+        seen.append(eng.now)
+
+    spawn(eng, worker())
+    eng.run()
+    assert seen == [0.0, 0.0]
+
+
+def test_invalid_delay_raises():
+    eng = Engine()
+
+    def worker():
+        yield -1.0
+
+    spawn(eng, worker())
+    with pytest.raises(ValueError, match="invalid delay"):
+        eng.run()
+
+
+def test_interrupt_stops_process():
+    eng = Engine()
+    log = []
+
+    def worker():
+        while True:
+            yield 1.0
+            log.append(eng.now)
+
+    proc = spawn(eng, worker())
+    eng.run(until=3.5)
+    proc.interrupt()
+    eng.run()
+    assert log == [1.0, 2.0, 3.0]
+    assert not proc.alive
+
+
+def test_every_helper_with_until():
+    eng = Engine()
+    ticks = []
+    every(eng, 2.0, lambda: ticks.append(eng.now), until=7.0)
+    eng.run(until=20.0)
+    assert ticks == [2.0, 4.0, 6.0]
+
+
+def test_every_rejects_bad_period():
+    with pytest.raises(ValueError):
+        every(Engine(), 0.0, lambda: None)

@@ -1,0 +1,38 @@
+"""Tests for trace-generator calibration."""
+
+import pytest
+
+from repro.traces.calibration import (
+    CalibrationTarget,
+    calibrate,
+)
+
+
+def test_target_validation():
+    with pytest.raises(ValueError):
+        CalibrationTarget(0.0, 0.7)
+    with pytest.raises(ValueError):
+        CalibrationTarget(100.0, 1.5)
+    with pytest.raises(ValueError):
+        CalibrationTarget(100.0, 0.7, tolerance=0.0)
+
+
+def test_calibration_hits_moderate_target():
+    target = CalibrationTarget(median_slots_per_user_day=100.0,
+                               day_over_day_autocorrelation=0.7,
+                               tolerance=0.35)
+    result = calibrate(target, n_users=40, n_days=5,
+                       session_grid=(6.0, 9.0, 13.0),
+                       noise_grid=(0.3, 0.6))
+    assert result.within(target)
+    assert result.error < 0.5
+
+
+def test_calibration_moves_volume_with_target():
+    light = calibrate(CalibrationTarget(40.0, 0.7), n_users=30, n_days=4,
+                      session_grid=(3.0, 9.0, 18.0), noise_grid=(0.4,))
+    heavy = calibrate(CalibrationTarget(200.0, 0.7), n_users=30, n_days=4,
+                      session_grid=(3.0, 9.0, 18.0), noise_grid=(0.4,))
+    assert (light.config.median_sessions_per_day
+            < heavy.config.median_sessions_per_day)
+    assert light.measured_median < heavy.measured_median

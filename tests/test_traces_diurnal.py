@@ -1,0 +1,97 @@
+"""Unit tests for diurnal activity profiles."""
+
+import numpy as np
+import pytest
+
+from repro.traces.diurnal import (
+    DAYPARTS,
+    HOURS_PER_DAY,
+    DiurnalProfile,
+    autocorrelation_lag_one_day,
+    population_hourly_profile,
+    random_profile,
+)
+
+
+def _uniformish():
+    return DiurnalProfile(weights=(0.0,) * len(DAYPARTS), floor=1.0)
+
+
+def test_hourly_pmf_sums_to_one(rng):
+    profile = random_profile(rng)
+    pmf = profile.hourly_pmf()
+    assert pmf.shape == (HOURS_PER_DAY,)
+    assert pmf.sum() == pytest.approx(1.0)
+    assert (pmf > 0).all()
+
+
+def test_flat_profile_is_uniform():
+    pmf = _uniformish().hourly_pmf()
+    assert np.allclose(pmf, 1.0 / HOURS_PER_DAY)
+
+
+def test_evening_weighted_profile_peaks_in_evening():
+    profile = DiurnalProfile(weights=(0.0, 0.0, 0.0, 1.0), floor=0.01)
+    pmf = profile.hourly_pmf()
+    assert 19 <= int(np.argmax(pmf)) <= 23
+
+
+def test_phase_shifts_peak():
+    base = DiurnalProfile(weights=(0.0, 0.0, 0.0, 1.0), floor=0.01)
+    shifted = DiurnalProfile(weights=(0.0, 0.0, 0.0, 1.0), floor=0.01,
+                             phase=3.0)
+    delta = (int(np.argmax(shifted.hourly_pmf()))
+             - int(np.argmax(base.hourly_pmf()))) % HOURS_PER_DAY
+    assert delta == 3
+
+
+def test_intensity_positive_everywhere(rng):
+    profile = random_profile(rng)
+    hours = np.linspace(0, 24, 97)
+    assert all(profile.intensity(float(h)) > 0 for h in hours)
+
+
+def test_sample_hour_in_range(rng):
+    profile = random_profile(rng)
+    samples = [profile.sample_hour(rng) for _ in range(200)]
+    assert all(0.0 <= h < 24.0 for h in samples)
+
+
+def test_sample_hour_follows_pmf(rng):
+    profile = DiurnalProfile(weights=(0.0, 0.0, 0.0, 1.0), floor=0.02)
+    samples = np.array([profile.sample_hour(rng) for _ in range(3000)])
+    evening = ((samples >= 18) & (samples < 24)).mean()
+    night = ((samples >= 2) & (samples < 6)).mean()
+    assert evening > 5 * night
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DiurnalProfile(weights=(1.0,))                    # wrong arity
+    with pytest.raises(ValueError):
+        DiurnalProfile(weights=(-1.0, 0, 0, 0))
+    with pytest.raises(ValueError):
+        DiurnalProfile(weights=(0.0, 0, 0, 0), floor=0.0)  # zero intensity
+
+
+def test_population_profile_averages(rng):
+    profiles = [random_profile(rng) for _ in range(30)]
+    pop = population_hourly_profile(profiles)
+    assert pop.sum() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        population_hourly_profile([])
+
+
+def test_autocorrelation_of_perfectly_repeating_series():
+    day = np.arange(HOURS_PER_DAY, dtype=float)
+    series = np.tile(day, 4)
+    assert autocorrelation_lag_one_day(series) == pytest.approx(1.0)
+
+
+def test_autocorrelation_requires_two_days():
+    with pytest.raises(ValueError):
+        autocorrelation_lag_one_day(np.zeros(30))
+
+
+def test_autocorrelation_constant_series_is_nan():
+    assert np.isnan(autocorrelation_lag_one_day(np.ones(48)))

@@ -1,0 +1,95 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.traces.generator import TraceConfig, TraceGenerator, generate_trace
+from repro.traces.schema import SECONDS_PER_DAY
+from repro.workloads.appstore import TOP15
+from repro.workloads.population import PopulationConfig, build_population
+
+
+def _make(n_users=20, n_days=4, seed=3):
+    registry = RngRegistry(seed)
+    population = build_population(PopulationConfig(n_users=n_users),
+                                  registry.stream("pop"))
+    trace = generate_trace(population, TOP15, registry.stream("trace"),
+                           n_days=n_days)
+    return population, trace
+
+
+def test_trace_covers_population():
+    population, trace = _make()
+    assert set(trace.users) == {u.user_id for u in population}
+    assert trace.n_days == 4
+
+
+def test_generation_is_deterministic():
+    _, t1 = _make(seed=9)
+    _, t2 = _make(seed=9)
+    s1 = [(s.user_id, s.app_id, s.start, s.duration) for s in t1.all_sessions()]
+    s2 = [(s.user_id, s.app_id, s.start, s.duration) for s in t2.all_sessions()]
+    assert s1 == s2
+
+
+def test_different_seeds_differ():
+    _, t1 = _make(seed=9)
+    _, t2 = _make(seed=10)
+    s1 = [(s.user_id, s.start) for s in t1.all_sessions()]
+    s2 = [(s.user_id, s.start) for s in t2.all_sessions()]
+    assert s1 != s2
+
+
+def test_sessions_within_horizon_and_bounds():
+    _, trace = _make(n_days=3)
+    config = TraceConfig(n_days=3)
+    for session in trace.all_sessions():
+        assert 0.0 <= session.start < 3 * SECONDS_PER_DAY
+        assert session.end <= 3 * SECONDS_PER_DAY
+        assert config.min_session_s <= session.duration <= config.max_session_s
+
+
+def test_sessions_use_catalog_apps():
+    _, trace = _make()
+    app_ids = {a.app_id for a in TOP15}
+    assert {s.app_id for s in trace.all_sessions()} <= app_ids
+
+
+def test_session_volume_tracks_user_rates():
+    population, trace = _make(n_users=40, n_days=6)
+    rates = {u.user_id: u.sessions_per_day for u in population}
+    heavy = max(population, key=lambda u: u.sessions_per_day)
+    light = min(population, key=lambda u: u.sessions_per_day)
+    if rates[heavy.user_id] > 3 * rates[light.user_id]:
+        assert (len(trace.user(heavy.user_id).sessions)
+                > len(trace.user(light.user_id).sessions))
+
+
+def test_sessions_sorted_per_user():
+    _, trace = _make()
+    for user in trace.users.values():
+        starts = [s.start for s in user.sessions]
+        assert starts == sorted(starts)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(n_days=0)
+    with pytest.raises(ValueError):
+        TraceConfig(min_session_s=0.0)
+    with pytest.raises(ValueError):
+        TraceConfig(min_session_s=100.0, max_session_s=50.0)
+
+
+def test_generator_rejects_empty_catalog(rng):
+    with pytest.raises(ValueError):
+        TraceGenerator([], TraceConfig(), rng)
+
+
+def test_diurnal_structure_present():
+    """Most sessions should land in waking hours."""
+    _, trace = _make(n_users=60, n_days=5)
+    hours = np.array([s.hour_of_day for s in trace.all_sessions()])
+    waking = ((hours >= 7) & (hours <= 23.5)).mean()
+    assert waking > 0.75

@@ -1,0 +1,96 @@
+"""Unit tests for trace characterization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.schema import SECONDS_PER_HOUR, Session, Trace
+from repro.traces.stats import (
+    cdf,
+    epoch_slot_counts,
+    hour_of_day_profile,
+    hourly_slot_counts,
+    refresh_map,
+    slots_per_user_day,
+    summarize,
+    user_hourly_slot_counts,
+)
+from repro.workloads.appstore import TOP15
+
+
+def _hand_trace() -> tuple[Trace, dict[str, float]]:
+    """Two users, two days, slot counts computable by hand."""
+    trace = Trace(n_days=2)
+    # u1: one 65 s session at 10:00 day 0 in a 30 s-refresh app -> 3 slots.
+    trace.add_session(Session("u1", "g", 10 * SECONDS_PER_HOUR, 65.0))
+    # u1: one 10 s session at 10:30 day 1 -> 1 slot.
+    trace.add_session(Session("u1", "g", 34.5 * SECONDS_PER_HOUR, 10.0))
+    # u2: one 130 s session at 20:00 day 0 in a 60 s-refresh app -> 3 slots.
+    trace.add_session(Session("u2", "m", 20 * SECONDS_PER_HOUR, 130.0))
+    return trace, {"g": 30.0, "m": 60.0}
+
+
+def test_slots_per_user_day_by_hand():
+    trace, refresh = _hand_trace()
+    matrix = slots_per_user_day(trace, refresh)
+    # Rows sorted by user id: u1, u2.
+    assert matrix.tolist() == [[3, 1], [3, 0]]
+
+
+def test_hourly_slot_counts_by_hand():
+    trace, refresh = _hand_trace()
+    hourly = hourly_slot_counts(trace, refresh)
+    assert hourly[10] == 3
+    assert hourly[20] == 3
+    assert hourly[34] == 1
+    assert hourly.sum() == 7
+    assert user_hourly_slot_counts(trace, "u2", refresh)[20] == 3
+
+
+def test_epoch_slot_counts_hourly_and_coarser():
+    trace, refresh = _hand_trace()
+    hourly = epoch_slot_counts(trace, refresh, 3600.0)
+    assert hourly["u1"][10] == 3
+    assert hourly["u1"][34] == 1
+    two_hourly = epoch_slot_counts(trace, refresh, 7200.0)
+    assert two_hourly["u1"][5] == 3      # hours 10-11 -> epoch 5
+    assert two_hourly["u2"][10] == 3     # hours 20-21 -> epoch 10
+    with pytest.raises(ValueError):
+        epoch_slot_counts(trace, refresh, 0.0)
+
+
+def test_summarize_by_hand():
+    trace, refresh = _hand_trace()
+    summary = summarize(trace, refresh)
+    assert summary.n_users == 2
+    assert summary.n_slots == 7
+    assert summary.slots_per_user_day_mean == pytest.approx(7 / 4)
+    assert summary.active_user_fraction == 1.0
+    assert summary.peak_hour in (10, 20)
+
+
+def test_hour_of_day_profile_sums_to_one():
+    trace, refresh = _hand_trace()
+    profile = hour_of_day_profile(trace, refresh)
+    assert profile.sum() == pytest.approx(1.0)
+    # Hour 10 collects u1's day-0 slots (3) plus its day-1 slot at 10:30.
+    assert profile[10] == pytest.approx(4 / 7)
+    assert profile[20] == pytest.approx(3 / 7)
+
+
+def test_hour_of_day_profile_rejects_empty_trace():
+    with pytest.raises(ValueError):
+        hour_of_day_profile(Trace(n_days=1), {})
+
+
+def test_cdf_properties():
+    values, probs = cdf(np.array([3.0, 1.0, 2.0, 2.0]))
+    assert values.tolist() == [1.0, 2.0, 2.0, 3.0]
+    assert probs[-1] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        cdf(np.array([]))
+
+
+def test_refresh_map_covers_catalog():
+    refresh = refresh_map(TOP15)
+    assert len(refresh) == 15
+    assert all(v > 0 for v in refresh.values())

@@ -1,0 +1,104 @@
+"""Unit tests for the app catalog and population sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.workloads.appstore import (
+    CATALOG,
+    TOP15,
+    AppProfile,
+    catalog_weights,
+    get_app,
+)
+from repro.workloads.population import (
+    PopulationConfig,
+    build_population,
+    sample_user,
+)
+
+
+def test_catalog_has_fifteen_unique_apps():
+    assert len(TOP15) == 15
+    assert len(CATALOG) == 15
+    assert get_app("puzzle_blocks").category == "game"
+    with pytest.raises(KeyError):
+        get_app("nope")
+
+
+def test_catalog_mix_has_offline_and_online_apps():
+    offline = [a for a in TOP15 if a.is_offline]
+    online = [a for a in TOP15 if not a.is_offline]
+    assert len(offline) >= 5
+    assert len(online) >= 5
+
+
+def test_catalog_weights_normalised():
+    weights = catalog_weights()
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(w > 0 for w in weights)
+
+
+def test_slots_in_session():
+    app = get_app("puzzle_blocks")  # 30 s refresh
+    assert app.slots_in_session(0.0) == 1
+    assert app.slots_in_session(29.9) == 1
+    assert app.slots_in_session(30.0) == 2
+    assert app.slots_in_session(90.0) == 4
+    assert app.slot_times_offsets(90.0) == [0.0, 30.0, 60.0, 90.0]
+    assert app.slot_times_offsets(89.0) == [0.0, 30.0, 60.0]
+    with pytest.raises(ValueError):
+        app.slots_in_session(-1.0)
+
+
+def test_app_profile_validation():
+    with pytest.raises(ValueError):
+        AppProfile("x", "game", 0.0, 60.0, 0.5, 30.0, 4000, None, 0)
+    with pytest.raises(ValueError):
+        AppProfile("x", "game", 1.0, -1.0, 0.5, 30.0, 4000, None, 0)
+    with pytest.raises(ValueError):
+        AppProfile("x", "game", 1.0, 60.0, 0.5, 0.0, 4000, None, 0)
+
+
+def test_population_config_validation():
+    with pytest.raises(ValueError):
+        PopulationConfig(n_users=0)
+    with pytest.raises(ValueError):
+        PopulationConfig(wp_fraction=1.5)
+    with pytest.raises(ValueError):
+        PopulationConfig(median_sessions_per_day=0.0)
+
+
+def test_sample_user_fields(rng):
+    user = sample_user("u1", PopulationConfig(), rng)
+    assert user.user_id == "u1"
+    assert user.platform in ("wp", "iphone")
+    assert user.sessions_per_day > 0
+    assert len(user.app_weights) == len(TOP15)
+    assert sum(user.app_weights) == pytest.approx(1.0)
+
+
+def test_population_is_heterogeneous_and_deterministic():
+    pop1 = build_population(PopulationConfig(n_users=100),
+                            RngRegistry(5).stream("pop"))
+    pop2 = build_population(PopulationConfig(n_users=100),
+                            RngRegistry(5).stream("pop"))
+    assert [u.sessions_per_day for u in pop1] == [u.sessions_per_day for u in pop2]
+    rates = np.array([u.sessions_per_day for u in pop1])
+    assert rates.std() > 0.2 * rates.mean()   # heavy heterogeneity
+    assert len({u.user_id for u in pop1}) == 100
+
+
+def test_platform_split_roughly_matches_config():
+    pop = build_population(PopulationConfig(n_users=400, wp_fraction=0.6),
+                           RngRegistry(5).stream("pop"))
+    wp = sum(1 for u in pop if u.platform == "wp")
+    assert 0.5 < wp / 400 < 0.7
+
+
+def test_daily_rate_weekend_factor(rng):
+    user = sample_user("u2", PopulationConfig(), rng)
+    weekday_rates = [user.daily_rate(2, rng) for _ in range(200)]
+    weekend_rates = [user.daily_rate(5, rng) for _ in range(200)]
+    ratio = np.mean(weekend_rates) / np.mean(weekday_rates)
+    assert ratio == pytest.approx(user.weekend_factor, rel=0.2)
