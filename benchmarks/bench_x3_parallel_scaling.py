@@ -1,0 +1,63 @@
+"""X3 (scaling): shard-parallel runner speedup vs worker count.
+
+Runs the headline comparison on a 400-user world sharded 8 ways at
+1/2/4 workers and records the wall-clock scaling curve. Two assertions:
+
+* metrics are bit-for-bit identical at every worker count (the runner's
+  core contract);
+* on a machine with >= 4 CPUs, 4 workers beat the serial run by >= 2x.
+  On smaller machines the speedup line is recorded but not asserted —
+  process-pool overhead with one core can only slow things down.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import bench_config, run_once
+
+from repro.metrics.summary import format_table
+from repro.runner import Runner, WorldCache
+
+WORKER_COUNTS = (1, 2, 4)
+N_SHARDS = 8
+
+
+def _scaling_curve():
+    config = bench_config(
+        n_users=int(os.environ.get("REPRO_BENCH_SCALING_USERS", 400)))
+    world = WorldCache().get(config)  # build once, outside the timings
+    results = []
+    for workers in WORKER_COUNTS:
+        result = Runner(config, parallelism=workers, shards=N_SHARDS,
+                        world=world).run("headline")
+        results.append(result)
+    return config, results
+
+
+def test_x3_parallel_scaling(benchmark, record_table):
+    config, results = run_once(benchmark, _scaling_curve)
+    serial = results[0]
+
+    rows = []
+    for result in results:
+        speedup = serial.elapsed_s / result.elapsed_s
+        rows.append((f"{result.parallelism}", f"{result.n_shards}",
+                     f"{result.elapsed_s:.1f}s", f"{speedup:.2f}x"))
+    record_table("x3", format_table(
+        ["workers", "shards", "wall clock", "speedup"],
+        rows,
+        title=f"X3: shard-parallel scaling ({config.n_users} users, "
+              f"{os.cpu_count()} CPUs)"))
+
+    # The contract: worker count never changes the numbers.
+    for result in results[1:]:
+        assert result.prefetch == serial.prefetch
+        assert result.realtime == serial.realtime
+        assert result.comparison == serial.comparison
+
+    # The payoff: near-linear scaling where the hardware allows it.
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        four_workers = results[WORKER_COUNTS.index(4)]
+        assert serial.elapsed_s / four_workers.elapsed_s >= 2.0

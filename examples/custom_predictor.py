@@ -10,7 +10,7 @@ Run:  python examples/custom_predictor.py
 
 import numpy as np
 
-from repro.experiments import ExperimentConfig, get_world, run_headline
+from repro import ExperimentConfig, Runner, get_world
 from repro.metrics import fmt_pct, format_table
 from repro.prediction import (
     EvaluationConfig,
@@ -71,7 +71,8 @@ def main() -> None:
     print("\nEnd to end (the metric that matters):")
     rows = []
     for predictor in ("ewma", "day_of_week"):
-        result = run_headline(config.variant(predictor=predictor), world)
+        result = Runner(config.variant(predictor=predictor),
+                        world=world).run("headline").comparison
         rows.append((predictor,
                      fmt_pct(result.energy_savings, 1),
                      fmt_pct(result.revenue_loss),

@@ -8,7 +8,7 @@ savings — the analysis behind the X1/X2 extension experiments.
 Run:  python examples/network_evolution.py
 """
 
-from repro.experiments import ExperimentConfig, run_headline
+from repro import ExperimentConfig, Runner
 from repro.metrics import battery_impact, fmt_pct, format_table
 
 SCENARIOS = (
@@ -24,7 +24,7 @@ def main() -> None:
     base = ExperimentConfig(n_users=80, n_days=8, train_days=4, seed=19)
     rows = []
     for label, overrides in SCENARIOS:
-        result = run_headline(base.variant(**overrides))
+        result = Runner(base.variant(**overrides)).run("headline").comparison
         realtime = result.realtime.energy
         prefetch = result.prefetch.energy
         before = battery_impact(realtime)

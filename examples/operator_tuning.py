@@ -9,7 +9,7 @@ paper's deadline figure.
 Run:  python examples/operator_tuning.py
 """
 
-from repro.experiments import ExperimentConfig, get_world, run_headline
+from repro import ExperimentConfig, Runner, get_world
 from repro.metrics import fmt_pct, format_table
 
 #: Operator requirements.
@@ -31,7 +31,7 @@ def main() -> None:
         for sell_factor in SELL_FACTORS:
             config = base.variant(deadline_s=deadline_h * 3600.0,
                                   sell_factor=sell_factor)
-            result = run_headline(config, world)
+            result = Runner(config, world=world).run("headline").comparison
             rows.append((
                 f"{deadline_h:g}h", f"{sell_factor:g}",
                 fmt_pct(result.energy_savings, 1),

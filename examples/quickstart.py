@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py [n_users]
 
 import sys
 
-from repro.experiments import ExperimentConfig, run_headline
+from repro import ExperimentConfig, Runner
 from repro.metrics import fmt_pct
 
 
@@ -23,7 +23,7 @@ def main() -> None:
                               seed=7)
     print(f"Simulating {config.n_users} users x {config.n_days} days "
           f"({config.train_days} training) on {config.radio.upper()} ...")
-    comparison = run_headline(config)
+    comparison = Runner(config).run("headline").comparison
 
     prefetch = comparison.prefetch
     print()

@@ -35,12 +35,22 @@ from repro.experiments.harness import (  # noqa: E402
     run_prefetch,
     run_realtime,
 )
+from repro.runner import (  # noqa: E402
+    Runner,
+    RunResult,
+    WorldCache,
+    default_world_cache,
+)
 
 __all__ = [
     "__version__",
     "ExperimentConfig",
     "PAPER_SCALE",
     "BENCH_SCALE",
+    "Runner",
+    "RunResult",
+    "WorldCache",
+    "default_world_cache",
     "get_world",
     "run_headline",
     "run_prefetch",

@@ -9,6 +9,10 @@
     adprefetch report out.md --users 150  # full markdown report
     adprefetch trace out.jsonl --users 50 # dump a synthetic trace
 
+``run``, ``headline``, and ``report`` accept ``--jobs N`` to execute
+user shards across N worker processes (see :class:`repro.runner.Runner`;
+results are bit-for-bit identical at any ``--jobs``).
+
 (Equivalently: ``python -m repro ...``.)
 """
 
@@ -34,6 +38,12 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         choices=("3g", "3g-fd", "lte", "wifi"))
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for shard execution "
+                             "(results identical at any value)")
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         n_users=args.users,
@@ -57,23 +67,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
         started = time.time()
-        result = run_experiment(eid, config)
+        result = run_experiment(eid, config, jobs=args.jobs)
         print(result.render())
         print(f"[{eid} took {time.time() - started:.1f}s]\n")
     return 0
 
 
 def _cmd_headline(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import run_headline
     from repro.metrics.summary import fmt_pct
+    from repro.runner import Runner
 
-    comparison = run_headline(_config_from(args))
+    result = Runner(_config_from(args), parallelism=args.jobs).run("headline")
+    comparison = result.comparison
     print("Paper claim: >50% ad-energy reduction, negligible revenue "
           "loss and SLA violation rate.")
     print(f"  energy savings     {fmt_pct(comparison.energy_savings, 1)}")
     print(f"  revenue loss       {fmt_pct(comparison.revenue_loss)}")
     print(f"  SLA violation rate {fmt_pct(comparison.sla_violation_rate)}")
     print(f"  wakeup reduction   {fmt_pct(comparison.wakeup_reduction, 1)}")
+    print(f"  [{result.n_shards} shard(s) x {result.parallelism} worker(s), "
+          f"{result.elapsed_s:.1f}s]")
     return 0
 
 
@@ -81,7 +94,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
     ids = args.only.split(",") if args.only else None
-    path = write_report(args.path, _config_from(args), ids=ids)
+    path = write_report(args.path, _config_from(args), ids=ids,
+                        jobs=args.jobs)
     print(f"report written to {path}")
     return 0
 
@@ -111,10 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment",
                        choices=experiment_ids() + ["all"])
     _add_world_args(p_run)
+    _add_jobs_arg(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_head = sub.add_parser("headline", help="reproduce the abstract claim")
     _add_world_args(p_head)
+    _add_jobs_arg(p_head)
     p_head.set_defaults(func=_cmd_headline)
 
     p_report = sub.add_parser("report",
@@ -123,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--only", default="",
                           help="comma-separated experiment ids")
     _add_world_args(p_report)
+    _add_jobs_arg(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_trace = sub.add_parser("trace", help="generate a synthetic trace file")

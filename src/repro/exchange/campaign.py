@@ -85,12 +85,18 @@ class Campaign:
         self.impressions += 1
 
     def refund(self, price: float) -> None:
-        """Return committed budget for an undelivered (voided) sale."""
+        """Return committed budget for an undelivered (voided) sale.
+
+        ``spent`` is a float accumulator, so refunding the last
+        outstanding sale can overshoot it by a few ulp
+        (``(a + b) - a != b``); such residue is clamped to zero rather
+        than rejected.
+        """
         if price < 0:
             raise ValueError("price must be non-negative")
-        if price > self.spent:
+        if price > self.spent + 1e-9 * max(1.0, price):
             raise ValueError("refund exceeds committed spend")
-        self.spent -= price
+        self.spent = max(0.0, self.spent - price)
         self.impressions -= 1
 
 

@@ -16,9 +16,13 @@ from repro.server.adserver import ServerConfig
 from repro.workloads.population import PopulationConfig
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, kw_only=True)
 class ExperimentConfig:
-    """Full parameterisation of one end-to-end run."""
+    """Full parameterisation of one end-to-end run.
+
+    All fields are keyword-only: with this many knobs, positional
+    construction silently transposes parameters.
+    """
 
     # World.
     seed: int = 7

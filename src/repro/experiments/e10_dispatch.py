@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline
+from .harness import get_world
 
 POLICY_VARIANTS: tuple[tuple[str, dict], ...] = (
     ("no-replication", {}),
@@ -73,21 +73,29 @@ def _row(policy_name: str, comparison) -> DispatchRow:
 
 
 def run_e10(config: ExperimentConfig | None = None,
-            max_replicas: int = 4) -> DispatchAblation:
+            max_replicas: int = 4, *,
+            jobs: int = 1) -> DispatchAblation:
     """Compare dispatch policies with the rest of the system fixed."""
+    from repro.runner import Runner
+
     base = (config or ExperimentConfig()).variant(
         max_replicas=max_replicas, rescue_batch=0)
     world = get_world(base)
+
+    def headline(variant):
+        return Runner(variant, parallelism=jobs,
+                      world=world).run("headline").comparison
+
     rows = []
     for policy, kwargs in POLICY_VARIANTS:
         pk = dict(kwargs)
         if policy == "random-k":
             pk["k"] = max_replicas
         variant = base.variant(policy=policy, policy_kwargs=pk)
-        rows.append(_row(policy, run_headline(variant, world)))
+        rows.append(_row(policy, headline(variant)))
     original = config or ExperimentConfig()
     full = base.variant(policy="staggered",
                         max_replicas=original.max_replicas,
                         rescue_batch=original.rescue_batch)
-    rows.append(_row("staggered+rescue", run_headline(full, world)))
+    rows.append(_row("staggered+rescue", headline(full)))
     return DispatchAblation(rows=rows, max_replicas=max_replicas)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline
+from .harness import get_world
 
 DEFAULT_PREDICTORS = ("last_value", "global_mean", "time_of_day", "ewma",
                       "hybrid", "oracle")
@@ -53,15 +53,18 @@ class PredictorAblation:
 
 
 def run_e11(config: ExperimentConfig | None = None,
-            predictors: tuple[str, ...] = DEFAULT_PREDICTORS
-            ) -> PredictorAblation:
+            predictors: tuple[str, ...] = DEFAULT_PREDICTORS, *,
+            jobs: int = 1) -> PredictorAblation:
     """Swap the client model; keep everything else fixed."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     world = get_world(config)
     rows = []
     for predictor in predictors:
         variant = config.variant(predictor=predictor)
-        comparison = run_headline(variant, world)
+        comparison = Runner(variant, parallelism=jobs,
+                            world=world).run("headline").comparison
         rows.append(PredictorRow(
             predictor=predictor,
             energy_savings=comparison.energy_savings,

@@ -19,7 +19,7 @@ from repro.metrics.outcomes import Comparison
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline
+from .harness import get_world
 
 DEFAULT_KS = (1, 2, 3, 4, 6)
 
@@ -75,8 +75,15 @@ def _point(label: str, comparison: Comparison) -> KPoint:
 
 
 def run_e5_e6(config: ExperimentConfig | None = None,
-              ks: tuple[int, ...] = DEFAULT_KS) -> OverbookingSweep:
-    """Run the k sweep plus the full model (cached per config+ks)."""
+              ks: tuple[int, ...] = DEFAULT_KS, *,
+              jobs: int = 1) -> OverbookingSweep:
+    """Run the k sweep plus the full model (cached per config+ks).
+
+    ``jobs`` parallelises shard execution; results are jobs-invariant,
+    so the cache key deliberately ignores it.
+    """
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     cache_key = (config.world_key(), config.epoch_s, config.deadline_s,
                  config.sell_factor, config.epsilon, config.max_replicas,
@@ -85,6 +92,11 @@ def run_e5_e6(config: ExperimentConfig | None = None,
     if cached is not None:
         return cached
     world = get_world(config)
+
+    def headline(variant):
+        return Runner(variant, parallelism=jobs,
+                      world=world).run("headline").comparison
+
     points = []
     for k in ks:
         variant = config.variant(
@@ -93,9 +105,8 @@ def run_e5_e6(config: ExperimentConfig | None = None,
             max_replicas=max(k, 1),
             rescue_batch=0,           # isolate static replication
         )
-        comparison = run_headline(variant, world)
-        points.append(_point(f"random-{k}", comparison))
-    full = run_headline(config.variant(policy="staggered"), world)
+        points.append(_point(f"random-{k}", headline(variant)))
+    full = headline(config.variant(policy="staggered"))
     sweep = OverbookingSweep(points=points,
                              full_model=_point("staggered+rescue", full))
     _SWEEP_CACHE[cache_key] = sweep

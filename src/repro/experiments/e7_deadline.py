@@ -21,7 +21,7 @@ from repro.metrics.summary import fmt_pct, format_table
 from repro.traces.schema import SECONDS_PER_HOUR
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline
+from .harness import get_world
 
 DEFAULT_DEADLINES_H = (1.0, 2.0, 4.0, 8.0)
 
@@ -59,9 +59,11 @@ class DeadlineSweep:
 
 
 def run_e7(config: ExperimentConfig | None = None,
-           deadlines_h: tuple[float, ...] = DEFAULT_DEADLINES_H
-           ) -> DeadlineSweep:
+           deadlines_h: tuple[float, ...] = DEFAULT_DEADLINES_H, *,
+           jobs: int = 1) -> DeadlineSweep:
     """Sweep the show-by deadline for both system variants."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     world = get_world(config)
     points = []
@@ -74,7 +76,8 @@ def run_e7(config: ExperimentConfig | None = None,
         full = config.variant(
             deadline_s=deadline_s, epoch_s=epoch_s, rescue_horizon_s=None)
         for system, variant in (("static", static), ("full", full)):
-            comparison = run_headline(variant, world)
+            comparison = Runner(variant, parallelism=jobs,
+                                world=world).run("headline").comparison
             points.append(DeadlinePoint(
                 deadline_h=d_h,
                 epoch_h=epoch_s / SECONDS_PER_HOUR,

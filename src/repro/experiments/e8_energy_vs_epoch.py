@@ -13,7 +13,7 @@ from repro.metrics.summary import fmt_pct, format_table
 from repro.traces.schema import SECONDS_PER_HOUR
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline
+from .harness import get_world
 
 DEFAULT_EPOCHS_H = (0.5, 1.0, 2.0, 3.0)
 
@@ -46,8 +46,11 @@ class EpochSweep:
 
 
 def run_e8(config: ExperimentConfig | None = None,
-           epochs_h: tuple[float, ...] = DEFAULT_EPOCHS_H) -> EpochSweep:
+           epochs_h: tuple[float, ...] = DEFAULT_EPOCHS_H, *,
+           jobs: int = 1) -> EpochSweep:
     """Sweep the prefetch epoch length at a fixed deadline."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     world = get_world(config)
     points = []
@@ -56,7 +59,8 @@ def run_e8(config: ExperimentConfig | None = None,
         deadline_s = max(config.deadline_s, epoch_s)
         variant = config.variant(epoch_s=epoch_s, deadline_s=deadline_s,
                                  rescue_horizon_s=None)
-        comparison = run_headline(variant, world)
+        comparison = Runner(variant, parallelism=jobs,
+                            world=world).run("headline").comparison
         p = comparison.prefetch
         denom = max(p.energy.n_users * p.energy.days, 1.0)
         points.append(EpochPoint(

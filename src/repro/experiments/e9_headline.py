@@ -15,7 +15,7 @@ from repro.metrics.outcomes import Comparison
 from repro.metrics.summary import fmt_pct, fmt_si, format_table
 
 from .config import ExperimentConfig
-from .harness import get_world, run_headline, run_realtime
+from .harness import get_world
 
 SYSTEMS = ("naive-prefetch", "overbooking", "oracle")
 
@@ -79,13 +79,19 @@ def _row(system: str, comparison: Comparison) -> HeadlineRow:
 
 
 def run_e9(config: ExperimentConfig | None = None,
-           systems: tuple[str, ...] = SYSTEMS) -> HeadlineTable:
+           systems: tuple[str, ...] = SYSTEMS, *,
+           jobs: int = 1) -> HeadlineTable:
     """Run every system preset on the same world."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     world = get_world(config)
-    realtime = run_realtime(config, world)
+    realtime = Runner(config, parallelism=jobs,
+                      world=world).run("realtime").realtime
     rows = [
-        _row(system, run_headline(apply_preset(system, config), world))
+        _row(system,
+             Runner(apply_preset(system, config), parallelism=jobs,
+                    world=world).run("headline").comparison)
         for system in systems
     ]
     return HeadlineTable(

@@ -1,21 +1,34 @@
-"""End-to-end run harness.
+"""End-to-end run harness (single-shard core).
 
-Builds the world (population + trace + compiled timelines), then runs it
-under either serving discipline:
+Builds the world (population + trace + compiled timelines), then runs a
+set of clients under either serving discipline. The functions here
+operate on **one user subset at a time**; :mod:`repro.runner` partitions
+a population into deterministic shards and drives this core once per
+shard (possibly in parallel worker processes), then merges the results
+through :mod:`repro.metrics.accumulators`.
 
-* :func:`run_prefetch` — the paper's system: sell-ahead + overbooked
-  dispatch + local serving with real-time fallback.
-* :func:`run_realtime` — the status-quo baseline on the identical trace
-  window with an identically seeded (but independent) marketplace.
+Public entry points:
 
-Worlds are cached per configuration key so parameter sweeps that only
-touch the serving side re-use the same trace.
+* :class:`repro.runner.Runner` — the supported API for full runs.
+* :func:`run_prefetch` / :func:`run_realtime` / :func:`run_headline` —
+  deprecated thin wrappers kept for backward compatibility; they run
+  the whole population as a single shard, which reproduces the
+  historical serial results bit for bit.
+* :func:`run_prefetch_instrumented` — like ``run_prefetch`` but returns
+  devices/clients/server for introspection (experiments E12, tests).
+
+Worlds are cached per configuration key (see
+:class:`repro.runner.WorldCache`) so parameter sweeps that only touch
+the serving side re-use the same trace.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.baselines.realtime import run_realtime as _run_realtime_engine
 from repro.client.device import Device
@@ -67,22 +80,16 @@ class World:
     profile_of: dict[str, RadioProfile]
 
 
-_WORLD_CACHE: dict[tuple, World] = {}
+def world_from_trace(config: ExperimentConfig, trace: Trace,
+                     apps: Sequence[AppProfile] = TOP15) -> World:
+    """Compile a :class:`World` from an already-generated trace.
 
-
-def get_world(config: ExperimentConfig,
-              apps: Sequence[AppProfile] = TOP15) -> World:
-    """Build (or fetch from cache) the world for ``config``."""
-    key = config.world_key()
-    cached = _WORLD_CACHE.get(key)
-    if cached is not None:
-        return cached
+    Radio-profile assignment draws from the seed-derived
+    ``radio-assignment`` stream in sorted-user order, so the same trace
+    always yields the same assignment — including when the trace was
+    reloaded from a :class:`repro.runner.WorldCache` disk spill.
+    """
     registry = RngRegistry(config.seed)
-    population = build_population(config.population_config(),
-                                  registry.stream("population"), tuple(apps))
-    generator = TraceGenerator(apps, TraceConfig(n_days=config.n_days),
-                               registry.stream("trace"))
-    trace = generator.generate(population)
     base_profile = get_profile(config.radio)
     wifi = get_profile("wifi")
     assign_rng = registry.stream("radio-assignment")
@@ -93,45 +100,79 @@ def get_world(config: ExperimentConfig,
                    else base_profile)
         profile_of[user.user_id] = profile
         timelines[user.user_id] = compile_timeline(user, apps, profile)
-    world = World(
-        config_key=key,
+    return World(
+        config_key=config.world_key(),
         trace=trace,
         apps=tuple(apps),
         timelines=timelines,
         refresh_of=refresh_map(apps),
         profile_of=profile_of,
     )
-    _WORLD_CACHE[key] = world
-    return world
+
+
+def build_world(config: ExperimentConfig,
+                apps: Sequence[AppProfile] = TOP15) -> World:
+    """Generate the population + trace for ``config`` and compile it."""
+    registry = RngRegistry(config.seed)
+    population = build_population(config.population_config(),
+                                  registry.stream("population"), tuple(apps))
+    generator = TraceGenerator(apps, TraceConfig(n_days=config.n_days),
+                               registry.stream("trace"))
+    trace = generator.generate(population)
+    return world_from_trace(config, trace, apps)
+
+
+def get_world(config: ExperimentConfig,
+              apps: Sequence[AppProfile] = TOP15) -> World:
+    """Build (or fetch from the default cache) the world for ``config``.
+
+    Delegates to the process-wide default
+    :class:`repro.runner.WorldCache`.
+    """
+    from repro.runner import default_world_cache
+    return default_world_cache().get(config, apps)
 
 
 def clear_world_cache() -> None:
-    """Drop cached worlds (tests that probe generation determinism)."""
-    _WORLD_CACHE.clear()
+    """Drop cached worlds from the default :class:`~repro.runner.WorldCache`.
+
+    Legacy alias for ``default_world_cache().clear()`` (tests that probe
+    generation determinism).
+    """
+    from repro.runner import default_world_cache
+    default_world_cache().clear()
 
 
 def _build_exchange(config: ExperimentConfig, registry: RngRegistry,
-                    stream: str) -> Exchange:
+                    stream: str, rng_tag: str = "") -> Exchange:
+    """Build a marketplace on tagged RNG streams.
+
+    ``rng_tag`` namespaces the campaign and auction streams per shard so
+    shard-local exchanges are mutually independent yet deterministic in
+    the shard layout alone (never in worker count or scheduling).
+    """
     campaigns = build_campaigns(config.campaign_config(),
-                                registry.fresh("campaigns"))
+                                registry.fresh("campaigns" + rng_tag))
     return Exchange(campaigns, config.auction_config(),
-                    registry.fresh(stream))
+                    registry.fresh(stream + rng_tag))
 
 
-def run_prefetch(config: ExperimentConfig,
-                 world: World | None = None) -> PrefetchOutcome:
-    """Run the full prefetch system over the test window."""
-    return run_prefetch_instrumented(config, world).outcome
+def run_prefetch_shard(config: ExperimentConfig,
+                       apps: Sequence[AppProfile],
+                       timelines: Mapping[str, ClientTimeline],
+                       profile_of: Mapping[str, RadioProfile],
+                       counts: Mapping[str, np.ndarray],
+                       horizon: float,
+                       rng_tag: str = "",
+                       keep_radio_timeline: bool = False
+                       ) -> PrefetchArtifacts:
+    """Run the prefetch system over one user subset (a shard).
 
-
-def run_prefetch_instrumented(config: ExperimentConfig,
-                              world: World | None = None,
-                              keep_radio_timeline: bool = False
-                              ) -> PrefetchArtifacts:
-    """Like :func:`run_prefetch`, but returns devices/clients/server too."""
-    world = world or get_world(config)
+    ``counts`` must hold the per-user epoch slot counts for exactly the
+    users in ``timelines``; ``rng_tag`` namespaces the shard's RNG
+    streams (empty for the legacy whole-population run).
+    """
     registry = RngRegistry(config.seed)
-    counts = epoch_slot_counts(world.trace, world.refresh_of, config.epoch_s)
     per_day = epochs_per_day(config.epoch_s)
     first_test = config.train_days * per_day
     n_epochs = config.n_days * per_day
@@ -144,22 +185,22 @@ def run_prefetch_instrumented(config: ExperimentConfig,
             predictor.set_truth(counts[uid], start_epoch=0)
         predictors[uid] = predictor
 
-    exchange = _build_exchange(config, registry, "exchange-prefetch")
+    exchange = _build_exchange(config, registry, "exchange-prefetch",
+                               rng_tag)
     policy = make_policy(config.policy, **config.policy_kwargs_full())
     server = AdServer(config.server_config(), exchange, policy, predictors,
-                      registry.fresh("dispatch"))
+                      registry.fresh("dispatch" + rng_tag))
     server.warm_up({uid: counts[uid][:first_test] for uid in counts})
 
-    devices = {uid: Device(uid, world.profile_of[uid],
+    devices = {uid: Device(uid, profile_of[uid],
                            keep_timeline=keep_radio_timeline)
-               for uid in world.timelines}
+               for uid in timelines}
     clients = {
-        uid: AdClient(world.timelines[uid], devices[uid], world.apps,
+        uid: AdClient(timelines[uid], devices[uid], apps,
                       report_delay_s=config.report_delay_s)
-        for uid in world.timelines
+        for uid in timelines
     }
 
-    horizon = world.trace.horizon
     for epoch in range(first_test, n_epochs):
         now = epoch * config.epoch_s
         window_end = min(now + config.epoch_s, horizon)
@@ -167,7 +208,7 @@ def run_prefetch_instrumented(config: ExperimentConfig,
         # Clients sync at their first slot; process in sync-time order so
         # cross-client report visibility is chronological.
         schedule: list[tuple[float, str]] = []
-        for uid, timeline in world.timelines.items():
+        for uid, timeline in timelines.items():
             times, _, _ = timeline.window(now, window_end)
             if times.size == 0:
                 continue
@@ -212,21 +253,85 @@ def run_prefetch_instrumented(config: ExperimentConfig,
                              clients=clients, server=server)
 
 
-def run_realtime(config: ExperimentConfig,
-                 world: World | None = None) -> RealtimeOutcome:
-    """Run the status-quo baseline over the same test window."""
-    world = world or get_world(config)
+def run_realtime_shard(config: ExperimentConfig,
+                       apps: Sequence[AppProfile],
+                       timelines: Mapping[str, ClientTimeline],
+                       profile_of: Mapping[str, RadioProfile],
+                       horizon: float,
+                       rng_tag: str = "") -> RealtimeOutcome:
+    """Run the status-quo baseline over one user subset (a shard)."""
     registry = RngRegistry(config.seed)
-    exchange = _build_exchange(config, registry, "exchange-realtime")
+    exchange = _build_exchange(config, registry, "exchange-realtime",
+                               rng_tag)
     per_day = epochs_per_day(config.epoch_s)
     start = config.train_days * per_day * config.epoch_s
-    return _run_realtime_engine(world.timelines, world.apps,
-                                world.profile_of, exchange, start,
-                                world.trace.horizon)
+    return _run_realtime_engine(dict(timelines), apps, dict(profile_of),
+                                exchange, start, horizon)
+
+
+def run_prefetch_instrumented(config: ExperimentConfig,
+                              world: World | None = None,
+                              keep_radio_timeline: bool = False
+                              ) -> PrefetchArtifacts:
+    """Whole-population prefetch run returning devices/clients/server too."""
+    world = world or get_world(config)
+    counts = epoch_slot_counts(world.trace, world.refresh_of, config.epoch_s)
+    return run_prefetch_shard(config, world.apps, world.timelines,
+                              world.profile_of, counts, world.trace.horizon,
+                              keep_radio_timeline=keep_radio_timeline)
+
+
+def _headline(config: ExperimentConfig,
+              world: World | None = None) -> Comparison:
+    """Internal non-deprecated whole-population headline comparison."""
+    world = world or get_world(config)
+    prefetch = run_prefetch_instrumented(config, world).outcome
+    realtime = run_realtime_shard(config, world.apps, world.timelines,
+                                  world.profile_of, world.trace.horizon)
+    return compare(prefetch, realtime)
+
+
+_DEPRECATION_TEMPLATE = (
+    "repro.experiments.harness.{name}() is deprecated; use "
+    "repro.Runner(config).run({system!r}) instead")
+
+
+def _warn_deprecated(name: str, system: str) -> None:
+    """Emit the legacy-wrapper :class:`DeprecationWarning`."""
+    warnings.warn(_DEPRECATION_TEMPLATE.format(name=name, system=system),
+                  DeprecationWarning, stacklevel=3)
+
+
+def run_prefetch(config: ExperimentConfig,
+                 world: World | None = None) -> PrefetchOutcome:
+    """Run the full prefetch system over the test window.
+
+    .. deprecated:: 1.1
+       Use ``repro.Runner(config).run("prefetch")``.
+    """
+    _warn_deprecated("run_prefetch", "prefetch")
+    return run_prefetch_instrumented(config, world).outcome
+
+
+def run_realtime(config: ExperimentConfig,
+                 world: World | None = None) -> RealtimeOutcome:
+    """Run the status-quo baseline over the same test window.
+
+    .. deprecated:: 1.1
+       Use ``repro.Runner(config).run("realtime")``.
+    """
+    _warn_deprecated("run_realtime", "realtime")
+    world = world or get_world(config)
+    return run_realtime_shard(config, world.apps, world.timelines,
+                              world.profile_of, world.trace.horizon)
 
 
 def run_headline(config: ExperimentConfig,
                  world: World | None = None) -> Comparison:
-    """Prefetch vs real-time on the identical trace (experiment E9)."""
-    world = world or get_world(config)
-    return compare(run_prefetch(config, world), run_realtime(config, world))
+    """Prefetch vs real-time on the identical trace (experiment E9).
+
+    .. deprecated:: 1.1
+       Use ``repro.Runner(config).run("headline")``.
+    """
+    _warn_deprecated("run_headline", "headline")
+    return _headline(config, world)

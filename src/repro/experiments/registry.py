@@ -30,6 +30,9 @@ class Experiment:
     title: str
     runner: Callable[..., object]
     needs_world: bool = True
+    #: Whether ``runner`` accepts a ``jobs=`` kwarg (sharded parallel
+    #: execution via :class:`repro.runner.Runner`).
+    accepts_jobs: bool = False
 
 
 def _run_e1(_config: ExperimentConfig):
@@ -48,21 +51,25 @@ EXPERIMENTS: dict[str, Experiment] = {
     "e3": Experiment("e3", "Fig (dataset)", "trace characterization", run_e3),
     "e4": Experiment("e4", "Fig (models)", "prediction accuracy", run_e4),
     "e5": Experiment("e5", "Fig (SLA vs k)", "overbooking: SLA side",
-                     run_e5_e6),
+                     run_e5_e6, accepts_jobs=True),
     "e6": Experiment("e6", "Fig (revenue vs k)", "overbooking: revenue side",
-                     run_e5_e6),
-    "e7": Experiment("e7", "Fig (deadline)", "deadline sweep", run_e7),
-    "e8": Experiment("e8", "Fig (period)", "prefetch-period sweep", run_e8),
+                     run_e5_e6, accepts_jobs=True),
+    "e7": Experiment("e7", "Fig (deadline)", "deadline sweep", run_e7,
+                     accepts_jobs=True),
+    "e8": Experiment("e8", "Fig (period)", "prefetch-period sweep", run_e8,
+                     accepts_jobs=True),
     "e9": Experiment("e9", "Table 2", "headline end-to-end comparison",
-                     run_e9),
-    "e10": Experiment("e10", "Ablation", "dispatch-policy ablation", run_e10),
-    "e11": Experiment("e11", "Ablation", "client-model ablation", run_e11),
+                     run_e9, accepts_jobs=True),
+    "e10": Experiment("e10", "Ablation", "dispatch-policy ablation", run_e10,
+                      accepts_jobs=True),
+    "e11": Experiment("e11", "Ablation", "client-model ablation", run_e11,
+                      accepts_jobs=True),
     "e12": Experiment("e12", "Fig (radio)", "radio wakeups & residency",
                       run_e12),
     "x1": Experiment("x1", "Extension", "radio-technology sensitivity",
-                     run_x1),
+                     run_x1, accepts_jobs=True),
     "x2": Experiment("x2", "Extension", "prefetching vs fast dormancy",
-                     run_x2),
+                     run_x2, accepts_jobs=True),
 }
 
 
@@ -73,12 +80,19 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(experiment_id: str,
-                   config: ExperimentConfig | None = None):
-    """Run one experiment by id; returns its figure/table object."""
+                   config: ExperimentConfig | None = None,
+                   jobs: int = 1):
+    """Run one experiment by id; returns its figure/table object.
+
+    ``jobs`` is forwarded to experiments that support sharded parallel
+    execution (``accepts_jobs``); others run serially regardless.
+    """
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {experiment_ids()}") from None
+    if experiment.accepts_jobs:
+        return experiment.runner(config, jobs=jobs)
     return experiment.runner(config)

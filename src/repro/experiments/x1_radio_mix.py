@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
-from .harness import run_headline
 
 WIFI_FRACTIONS = (0.0, 0.3, 0.6, 1.0)
 
@@ -74,15 +73,22 @@ def _row(label: str, comparison) -> RadioMixRow:
     )
 
 
-def run_x1(config: ExperimentConfig | None = None) -> RadioMixStudy:
+def run_x1(config: ExperimentConfig | None = None, *,
+           jobs: int = 1) -> RadioMixStudy:
     """Run both radio-technology studies."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
+
+    def headline(variant):
+        return Runner(variant, parallelism=jobs).run("headline").comparison
+
     homogeneous = []
     for radio in ("3g", "lte", "wifi"):
         variant = config.variant(radio=radio, wifi_fraction=0.0)
-        homogeneous.append(_row(radio, run_headline(variant)))
+        homogeneous.append(_row(radio, headline(variant)))
     mixed = []
     for fraction in WIFI_FRACTIONS:
         variant = config.variant(radio="3g", wifi_fraction=fraction)
-        mixed.append(_row(f"wifi={fraction:.0%}", run_headline(variant)))
+        mixed.append(_row(f"wifi={fraction:.0%}", headline(variant)))
     return RadioMixStudy(homogeneous=homogeneous, mixed=mixed)

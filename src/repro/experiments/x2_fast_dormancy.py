@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
-from .harness import run_headline
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,14 +51,18 @@ class FastDormancyStudy:
             title="X2: prefetching vs fast dormancy (identical traces)")
 
 
-def run_x2(config: ExperimentConfig | None = None) -> FastDormancyStudy:
+def run_x2(config: ExperimentConfig | None = None, *,
+           jobs: int = 1) -> FastDormancyStudy:
     """Fill the 2x2 grid."""
+    from repro.runner import Runner
+
     config = config or ExperimentConfig()
     cells: list[FastDormancyCell] = []
     baseline = None
     for radio in ("3g", "3g-fd"):
         variant = config.variant(radio=radio)
-        comparison = run_headline(variant)
+        comparison = Runner(variant,
+                            parallelism=jobs).run("headline").comparison
         realtime_j = comparison.realtime.energy.ad_joules_per_user_day()
         prefetch_j = comparison.prefetch.energy.ad_joules_per_user_day()
         if baseline is None:

@@ -1,5 +1,11 @@
 """S11 — energy/SLA/revenue aggregation and reporting."""
 
+from .accumulators import (
+    EnergyAccumulator,
+    MeanAccumulator,
+    RevenueAccumulator,
+    SlaAccumulator,
+)
 from .battery import (
     DEFAULT_BATTERY_WH,
     BatteryImpact,
@@ -11,6 +17,10 @@ from .outcomes import Comparison, PrefetchOutcome, RealtimeOutcome, compare
 from .summary import fmt_pct, fmt_si, format_series, format_table
 
 __all__ = [
+    "EnergyAccumulator",
+    "SlaAccumulator",
+    "RevenueAccumulator",
+    "MeanAccumulator",
     "EnergyReport",
     "aggregate_devices",
     "energy_savings",

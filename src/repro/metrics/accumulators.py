@@ -1,0 +1,232 @@
+"""Mergeable metric accumulators for sharded runs.
+
+The sharded run harness (:mod:`repro.runner`) executes each user shard
+in its own process and gets back one per-shard report per metric
+family. These accumulators fold shard reports into population-wide
+reports without ever needing the shards' raw per-device state.
+
+Every accumulator is a small immutable value with an **associative**
+``merge()``: ``a.merge(b).merge(c) == a.merge(b.merge(c))``. That is
+what makes the reduction independent of how many worker processes ran
+and in which order their futures completed — the runner always folds
+shard results in shard-index order, and associativity guarantees any
+tree-shaped reduction would produce the same totals.
+
+``finalize()`` converts the accumulated sums into the ordinary report
+types (:class:`~repro.metrics.energy.EnergyReport`,
+:class:`~repro.core.sla.SlaReport`,
+:class:`~repro.core.revenue.RevenueReport`) so downstream consumers
+(tables, comparisons, tests) are oblivious to whether a run was
+sharded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.revenue import RevenueReport
+from repro.core.sla import SlaReport
+
+from .energy import EnergyReport
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyAccumulator:
+    """Mergeable sums behind an :class:`EnergyReport`."""
+
+    ad_joules: float = 0.0
+    app_joules: float = 0.0
+    wakeups: int = 0
+    ad_bytes: int = 0
+    app_bytes: int = 0
+    n_users: int = 0
+
+    @classmethod
+    def from_report(cls, report: EnergyReport) -> "EnergyAccumulator":
+        """Lift one (shard-local) report into an accumulator."""
+        return cls(
+            ad_joules=report.ad_joules,
+            app_joules=report.app_joules,
+            wakeups=report.wakeups,
+            ad_bytes=report.ad_bytes,
+            app_bytes=report.app_bytes,
+            n_users=report.n_users,
+        )
+
+    @classmethod
+    def from_devices(cls, devices: Iterable) -> "EnergyAccumulator":
+        """Accumulate finalized :class:`~repro.client.device.Device`s."""
+        acc = cls()
+        for device in devices:
+            acc = acc.merge(cls(
+                ad_joules=device.ad_energy(),
+                app_joules=device.app_energy(),
+                wakeups=device.wakeups,
+                ad_bytes=device.ad_bytes,
+                app_bytes=device.app_bytes,
+                n_users=1,
+            ))
+        return acc
+
+    def merge(self, other: "EnergyAccumulator") -> "EnergyAccumulator":
+        """Associative pairwise combination (field-wise sums)."""
+        return EnergyAccumulator(
+            ad_joules=self.ad_joules + other.ad_joules,
+            app_joules=self.app_joules + other.app_joules,
+            wakeups=self.wakeups + other.wakeups,
+            ad_bytes=self.ad_bytes + other.ad_bytes,
+            app_bytes=self.app_bytes + other.app_bytes,
+            n_users=self.n_users + other.n_users,
+        )
+
+    def finalize(self, days: float) -> EnergyReport:
+        """Materialize the population-wide report for a ``days`` window."""
+        return EnergyReport(
+            ad_joules=self.ad_joules,
+            app_joules=self.app_joules,
+            wakeups=self.wakeups,
+            ad_bytes=self.ad_bytes,
+            app_bytes=self.app_bytes,
+            n_users=self.n_users,
+            days=days,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SlaAccumulator:
+    """Mergeable sums behind an :class:`SlaReport`.
+
+    The mean show latency is kept as a ``(sum, count)`` pair so that
+    merging shards reweights it exactly (a mean of means would not).
+    """
+
+    n_sales: int = 0
+    n_on_time: int = 0
+    n_violated: int = 0
+    n_duplicates: int = 0
+    latency_sum_s: float = 0.0
+    n_latencies: int = 0
+
+    @classmethod
+    def from_report(cls, report: SlaReport) -> "SlaAccumulator":
+        """Lift one (shard-local) report into an accumulator.
+
+        ``settle_sla`` records one latency sample per on-time sale, so
+        the latency sum is recovered as ``mean * n_on_time``.
+        """
+        return cls(
+            n_sales=report.n_sales,
+            n_on_time=report.n_on_time,
+            n_violated=report.n_violated,
+            n_duplicates=report.n_duplicates,
+            latency_sum_s=report.mean_latency_s * report.n_on_time,
+            n_latencies=report.n_on_time,
+        )
+
+    def merge(self, other: "SlaAccumulator") -> "SlaAccumulator":
+        """Associative pairwise combination (field-wise sums)."""
+        return SlaAccumulator(
+            n_sales=self.n_sales + other.n_sales,
+            n_on_time=self.n_on_time + other.n_on_time,
+            n_violated=self.n_violated + other.n_violated,
+            n_duplicates=self.n_duplicates + other.n_duplicates,
+            latency_sum_s=self.latency_sum_s + other.latency_sum_s,
+            n_latencies=self.n_latencies + other.n_latencies,
+        )
+
+    def finalize(self) -> SlaReport:
+        """Materialize the population-wide report."""
+        mean = (self.latency_sum_s / self.n_latencies
+                if self.n_latencies else 0.0)
+        return SlaReport(
+            n_sales=self.n_sales,
+            n_on_time=self.n_on_time,
+            n_violated=self.n_violated,
+            n_duplicates=self.n_duplicates,
+            mean_latency_s=mean,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RevenueAccumulator:
+    """Mergeable sums behind a :class:`RevenueReport`.
+
+    Every field of the report is already a population sum, so merging
+    is plain field-wise addition; the duplicate opportunity cost keeps
+    each shard's own mean clearing price baked in.
+    """
+
+    billed_prefetch: float = 0.0
+    billed_fallback: float = 0.0
+    voided: float = 0.0
+    duplicate_impressions: int = 0
+    duplicate_opportunity_cost: float = 0.0
+    paid_impressions: int = 0
+    fallback_impressions: int = 0
+    unfilled_slots: int = 0
+
+    @classmethod
+    def from_report(cls, report: RevenueReport) -> "RevenueAccumulator":
+        """Lift one (shard-local) report into an accumulator."""
+        return cls(
+            billed_prefetch=report.billed_prefetch,
+            billed_fallback=report.billed_fallback,
+            voided=report.voided,
+            duplicate_impressions=report.duplicate_impressions,
+            duplicate_opportunity_cost=report.duplicate_opportunity_cost,
+            paid_impressions=report.paid_impressions,
+            fallback_impressions=report.fallback_impressions,
+            unfilled_slots=report.unfilled_slots,
+        )
+
+    def merge(self, other: "RevenueAccumulator") -> "RevenueAccumulator":
+        """Associative pairwise combination (field-wise sums)."""
+        return RevenueAccumulator(
+            billed_prefetch=self.billed_prefetch + other.billed_prefetch,
+            billed_fallback=self.billed_fallback + other.billed_fallback,
+            voided=self.voided + other.voided,
+            duplicate_impressions=(self.duplicate_impressions
+                                   + other.duplicate_impressions),
+            duplicate_opportunity_cost=(self.duplicate_opportunity_cost
+                                        + other.duplicate_opportunity_cost),
+            paid_impressions=self.paid_impressions + other.paid_impressions,
+            fallback_impressions=(self.fallback_impressions
+                                  + other.fallback_impressions),
+            unfilled_slots=self.unfilled_slots + other.unfilled_slots,
+        )
+
+    def finalize(self) -> RevenueReport:
+        """Materialize the population-wide report."""
+        return RevenueReport(
+            billed_prefetch=self.billed_prefetch,
+            billed_fallback=self.billed_fallback,
+            voided=self.voided,
+            duplicate_impressions=self.duplicate_impressions,
+            duplicate_opportunity_cost=self.duplicate_opportunity_cost,
+            paid_impressions=self.paid_impressions,
+            fallback_impressions=self.fallback_impressions,
+            unfilled_slots=self.unfilled_slots,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MeanAccumulator:
+    """Mergeable weighted mean (used for the mean replication factor)."""
+
+    total: float = 0.0
+    weight: float = 0.0
+
+    @classmethod
+    def from_mean(cls, mean: float, weight: float) -> "MeanAccumulator":
+        """Lift a shard-local mean with its sample weight."""
+        return cls(total=mean * weight, weight=weight)
+
+    def merge(self, other: "MeanAccumulator") -> "MeanAccumulator":
+        """Associative pairwise combination."""
+        return MeanAccumulator(total=self.total + other.total,
+                               weight=self.weight + other.weight)
+
+    def finalize(self, default: float = 0.0) -> float:
+        """The combined mean, or ``default`` with zero total weight."""
+        return self.total / self.weight if self.weight else default

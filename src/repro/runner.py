@@ -1,0 +1,492 @@
+"""Sharded, multi-process run harness behind the public ``Runner`` API.
+
+The paper's evaluation couples clients only through the ad server's
+per-epoch plan/observe cycle, which makes the population embarrassingly
+parallel across **user shards**: each shard runs the full epoch loop
+against a shard-local :class:`~repro.server.adserver.AdServer` view (its
+own exchange, campaigns, and dispatch RNG, all derived from the master
+seed and the shard's index), and shard results are folded back together
+through the mergeable accumulators in
+:mod:`repro.metrics.accumulators`.
+
+Determinism contract
+--------------------
+* The shard layout depends only on ``(config, shards)`` — never on
+  ``parallelism``. ``Runner(config, parallelism=4)`` therefore returns
+  **bit-for-bit** the metrics of ``Runner(config, parallelism=1)``.
+* Each shard's RNG streams are namespaced by shard index and shard
+  count (``"exchange-prefetch#shard3/8"``), so a shard's draws do not
+  depend on worker scheduling or on which process ran it.
+* With a single shard the historical stream names are used, so the
+  deprecated ``run_prefetch``/``run_realtime``/``run_headline`` wrappers
+  reproduce the pre-sharding serial results exactly.
+
+Changing the *shard count* is a semantic knob, not merely an execution
+knob: each shard sells its own predicted inventory into a shard-local
+marketplace, so metrics drift slightly as shards multiply (the same
+way the paper's numbers would drift if the operator split traffic
+across independent ad servers).
+
+Example
+-------
+>>> from repro import Runner, ExperimentConfig
+>>> result = Runner(ExperimentConfig(n_users=40, n_days=6, train_days=3),
+...                 parallelism=2, shards=2).run("headline")
+>>> result.comparison.energy_savings > 0        # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import reduce
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.client.timeline import ClientTimeline
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    PrefetchArtifacts,
+    World,
+    build_world,
+    run_prefetch_shard,
+    run_realtime_shard,
+    world_from_trace,
+)
+from repro.metrics.accumulators import (
+    EnergyAccumulator,
+    MeanAccumulator,
+    RevenueAccumulator,
+    SlaAccumulator,
+)
+from repro.metrics.outcomes import (
+    Comparison,
+    PrefetchOutcome,
+    RealtimeOutcome,
+    compare,
+)
+from repro.radio.profiles import RadioProfile
+from repro.traces.stats import epoch_slot_counts
+from repro.workloads.appstore import TOP15, AppProfile
+
+SYSTEMS = ("prefetch", "realtime", "headline")
+
+#: Target shard granularity for ``shards=None``: one shard per this many
+#: users, so the default layout is a function of the config alone.
+USERS_PER_SHARD = 200
+
+#: Upper bound on auto-selected shards (explicit ``shards=`` may exceed it).
+MAX_AUTO_SHARDS = 16
+
+
+def auto_shard_count(n_users: int) -> int:
+    """Default shard count for a population of ``n_users``.
+
+    Deterministic in the config alone (never in worker count), so runs
+    at any parallelism agree on the shard layout.
+    """
+    return max(1, min(MAX_AUTO_SHARDS, n_users // USERS_PER_SHARD))
+
+
+def partition_users(user_ids: Sequence[str],
+                    n_shards: int) -> list[list[str]]:
+    """Split ``user_ids`` into ``n_shards`` contiguous, near-even chunks.
+
+    The input order is preserved (the harness iterates users in sorted
+    order, so chunk membership is deterministic); chunk sizes differ by
+    at most one.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n = len(user_ids)
+    base, extra = divmod(n, n_shards)
+    chunks: list[list[str]] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(user_ids[start:start + size]))
+        start += size
+    return chunks
+
+
+def shard_rng_tag(shard_index: int, n_shards: int) -> str:
+    """RNG-stream namespace for one shard.
+
+    Empty for a single shard (the historical stream names), so the
+    legacy serial API reproduces its pre-sharding results exactly.
+    """
+    if n_shards == 1:
+        return ""
+    return f"#shard{shard_index}/{n_shards}"
+
+
+# ----------------------------------------------------------------------
+# World cache (replaces the old process-global _WORLD_CACHE dict)
+# ----------------------------------------------------------------------
+
+
+def default_spill_dir() -> Path:
+    """Default on-disk trace cache: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR",
+                               "~/.cache/repro")).expanduser()
+
+
+class WorldCache:
+    """Size-bounded LRU cache of generated :class:`World` objects.
+
+    Parameters
+    ----------
+    max_worlds:
+        In-memory bound; the least-recently-used world is evicted once
+        the bound is exceeded.
+    spill_dir:
+        Optional directory for spilling generated **traces** to disk
+        (JSONL via :mod:`repro.traces.io`). A later miss — including in
+        a different process — reloads the trace and recompiles
+        timelines instead of regenerating the population. Note the
+        JSONL format rounds session times to milliseconds, so a
+        spill-reloaded world is statistically, not bit-wise, identical
+        to a freshly generated one.
+    """
+
+    def __init__(self, max_worlds: int = 16,
+                 spill_dir: str | Path | None = None) -> None:
+        if max_worlds < 1:
+            raise ValueError("max_worlds must be >= 1")
+        self.max_worlds = int(max_worlds)
+        self.spill_dir = (Path(spill_dir).expanduser()
+                          if spill_dir is not None else None)
+        self._worlds: OrderedDict[tuple, World] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.spill_loads = 0
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def _key(self, config: ExperimentConfig,
+             apps: Sequence[AppProfile]) -> tuple:
+        return (config.world_key(), tuple(a.app_id for a in apps))
+
+    def spill_path(self, config: ExperimentConfig,
+                   apps: Sequence[AppProfile] = TOP15) -> Path | None:
+        """Where this config's trace spills to (None if spill disabled)."""
+        if self.spill_dir is None:
+            return None
+        digest = hashlib.sha256(
+            repr(self._key(config, apps)).encode()).hexdigest()[:16]
+        return self.spill_dir / f"trace-{digest}.jsonl"
+
+    def get(self, config: ExperimentConfig,
+            apps: Sequence[AppProfile] = TOP15) -> World:
+        """Return the world for ``config``, building it at most once."""
+        key = self._key(config, apps)
+        cached = self._worlds.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._worlds.move_to_end(key)
+            return cached
+        self.misses += 1
+        world = self._load_spilled(config, apps)
+        if world is None:
+            world = build_world(config, apps)
+            self._write_spill(config, apps, world)
+        self._worlds[key] = world
+        while len(self._worlds) > self.max_worlds:
+            self._worlds.popitem(last=False)
+        return world
+
+    def _load_spilled(self, config: ExperimentConfig,
+                      apps: Sequence[AppProfile]) -> World | None:
+        path = self.spill_path(config, apps)
+        if path is None or not path.exists():
+            return None
+        from repro.traces.io import read_trace
+        trace = read_trace(path)
+        self.spill_loads += 1
+        return world_from_trace(config, trace, apps)
+
+    def _write_spill(self, config: ExperimentConfig,
+                     apps: Sequence[AppProfile], world: World) -> None:
+        path = self.spill_path(config, apps)
+        if path is None or path.exists():
+            return
+        from repro.traces.io import write_trace
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        write_trace(world.trace, tmp)
+        tmp.replace(path)
+
+    def clear(self) -> None:
+        """Drop all in-memory worlds (spilled traces stay on disk)."""
+        self._worlds.clear()
+
+
+_DEFAULT_CACHE: WorldCache | None = None
+
+
+def default_world_cache() -> WorldCache:
+    """The process-wide world cache used by ``Runner`` and ``get_world``.
+
+    Spills traces to :func:`default_spill_dir` only when
+    ``REPRO_CACHE_DIR`` is set, so plain test runs never touch the
+    user's home directory.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        spill = (default_spill_dir()
+                 if os.environ.get("REPRO_CACHE_DIR") else None)
+        _DEFAULT_CACHE = WorldCache(spill_dir=spill)
+    return _DEFAULT_CACHE
+
+
+# ----------------------------------------------------------------------
+# Shard execution (worker-process entry points)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ShardTask:
+    """Everything one worker needs to run one shard.
+
+    Shipped to worker processes by pickle, so it carries plain data
+    (timeline arrays, profiles, counts) rather than live simulator
+    state.
+    """
+
+    config: ExperimentConfig
+    system: str
+    shard_index: int
+    n_shards: int
+    apps: tuple[AppProfile, ...]
+    timelines: dict[str, ClientTimeline]
+    profile_of: dict[str, RadioProfile]
+    counts: dict[str, np.ndarray]
+    horizon: float
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """One shard's contribution to the merged run result."""
+
+    shard_index: int
+    n_users: int
+    prefetch: PrefetchOutcome | None = None
+    replication_weight: float = 0.0
+    realtime: RealtimeOutcome | None = None
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: run one shard's epoch loop(s)."""
+    tag = shard_rng_tag(task.shard_index, task.n_shards)
+    result = ShardResult(shard_index=task.shard_index,
+                         n_users=len(task.timelines))
+    if task.system in ("prefetch", "headline"):
+        artifacts: PrefetchArtifacts = run_prefetch_shard(
+            task.config, task.apps, task.timelines, task.profile_of,
+            task.counts, task.horizon, rng_tag=tag)
+        result.prefetch = artifacts.outcome
+        result.replication_weight = float(
+            sum(1 for s in artifacts.server.plan_stats if s.sold))
+    if task.system in ("realtime", "headline"):
+        result.realtime = run_realtime_shard(
+            task.config, task.apps, task.timelines, task.profile_of,
+            task.horizon, rng_tag=tag)
+    return result
+
+
+def _merge_prefetch(results: Sequence[ShardResult],
+                    config: ExperimentConfig) -> PrefetchOutcome:
+    """Fold shard prefetch outcomes into one population-wide outcome."""
+    outcomes = [r.prefetch for r in results]
+    energy = reduce(EnergyAccumulator.merge,
+                    (EnergyAccumulator.from_report(o.energy)
+                     for o in outcomes), EnergyAccumulator())
+    sla = reduce(SlaAccumulator.merge,
+                 (SlaAccumulator.from_report(o.sla) for o in outcomes),
+                 SlaAccumulator())
+    revenue = reduce(RevenueAccumulator.merge,
+                     (RevenueAccumulator.from_report(o.revenue)
+                      for o in outcomes), RevenueAccumulator())
+    replication = reduce(
+        MeanAccumulator.merge,
+        (MeanAccumulator.from_mean(o.mean_replication, r.replication_weight)
+         for o, r in zip(outcomes, results)), MeanAccumulator())
+    return PrefetchOutcome(
+        energy=energy.finalize(float(config.test_days)),
+        sla=sla.finalize(),
+        revenue=revenue.finalize(),
+        cached_displays=sum(o.cached_displays for o in outcomes),
+        rescued_displays=sum(o.rescued_displays for o in outcomes),
+        fallback_displays=sum(o.fallback_displays for o in outcomes),
+        house_displays=sum(o.house_displays for o in outcomes),
+        wasted_downloads=sum(o.wasted_downloads for o in outcomes),
+        mean_replication=replication.finalize(),
+        syncs=sum(o.syncs for o in outcomes),
+    )
+
+
+def _merge_realtime(results: Sequence[ShardResult]) -> RealtimeOutcome:
+    """Fold shard realtime outcomes into one population-wide outcome."""
+    outcomes = [r.realtime for r in results]
+    energy = reduce(EnergyAccumulator.merge,
+                    (EnergyAccumulator.from_report(o.energy)
+                     for o in outcomes), EnergyAccumulator())
+    days = outcomes[0].energy.days
+    return RealtimeOutcome(
+        energy=energy.finalize(days),
+        billed_revenue=sum(o.billed_revenue for o in outcomes),
+        impressions=sum(o.impressions for o in outcomes),
+        unfilled_slots=sum(o.unfilled_slots for o in outcomes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Merged outcome of one :meth:`Runner.run` call."""
+
+    system: str
+    n_shards: int
+    parallelism: int
+    elapsed_s: float
+    prefetch: PrefetchOutcome | None = None
+    realtime: RealtimeOutcome | None = None
+    comparison: Comparison | None = None
+
+    @property
+    def value(self):
+        """The system's primary result object.
+
+        The :class:`~repro.metrics.outcomes.Comparison` for
+        ``"headline"``, otherwise the single system's outcome.
+        """
+        if self.system == "headline":
+            return self.comparison
+        if self.system == "prefetch":
+            return self.prefetch
+        return self.realtime
+
+
+class Runner:
+    """Sharded run harness: the supported way to execute full runs.
+
+    Parameters
+    ----------
+    config:
+        The experiment parameterisation.
+    parallelism:
+        Worker processes for shard execution. Purely an execution knob:
+        results are bit-for-bit identical at any value.
+    shards:
+        Shard count, or ``None`` for :func:`auto_shard_count`. This *is*
+        a semantic knob — each shard serves a shard-local ad-server
+        view — so it is derived from the config, never from
+        ``parallelism``.
+    cache:
+        The :class:`WorldCache` to draw worlds from (defaults to the
+        process-wide cache).
+    world:
+        Pre-built :class:`World` to reuse, bypassing the cache (sweeps
+        sharing one trace across config variants).
+    apps:
+        App catalog for world construction (defaults to the paper's
+        top-15 catalog).
+    """
+
+    def __init__(self, config: ExperimentConfig, *,
+                 parallelism: int = 1,
+                 shards: int | None = None,
+                 cache: WorldCache | None = None,
+                 world: World | None = None,
+                 apps: Sequence[AppProfile] = TOP15) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config = config
+        self.parallelism = int(parallelism)
+        self.shards = shards
+        self.cache = cache
+        self.world = world
+        self.apps = tuple(apps)
+
+    def resolve_shards(self, n_users: int) -> int:
+        """The effective shard count for an ``n_users`` population."""
+        n = self.shards if self.shards is not None else auto_shard_count(
+            n_users)
+        return max(1, min(n, max(1, n_users)))
+
+    def _tasks(self, system: str, world: World) -> list[ShardTask]:
+        user_ids = list(world.timelines)
+        n_shards = self.resolve_shards(len(user_ids))
+        counts = epoch_slot_counts(world.trace, world.refresh_of,
+                                   self.config.epoch_s)
+        tasks = []
+        for index, chunk in enumerate(partition_users(user_ids, n_shards)):
+            tasks.append(ShardTask(
+                config=self.config,
+                system=system,
+                shard_index=index,
+                n_shards=n_shards,
+                apps=world.apps,
+                timelines={uid: world.timelines[uid] for uid in chunk},
+                profile_of={uid: world.profile_of[uid] for uid in chunk},
+                counts={uid: counts[uid] for uid in chunk},
+                horizon=world.trace.horizon,
+            ))
+        return tasks
+
+    def run(self, system: str = "headline") -> RunResult:
+        """Execute ``system`` over the config's population.
+
+        ``system`` is ``"prefetch"``, ``"realtime"``, or ``"headline"``
+        (both, compared on the identical trace). Shards run serially
+        in-process at ``parallelism=1``, otherwise across a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; either path
+        merges shard results in shard-index order, so the metrics are
+        identical.
+        """
+        if system not in SYSTEMS:
+            raise ValueError(
+                f"unknown system {system!r}; expected one of {SYSTEMS}")
+        started = time.perf_counter()
+        world = self.world
+        if world is None:
+            cache = self.cache if self.cache is not None \
+                else default_world_cache()
+            world = cache.get(self.config, self.apps)
+        tasks = self._tasks(system, world)
+        workers = min(self.parallelism, len(tasks))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run_shard, tasks))
+        else:
+            results = [_run_shard(task) for task in tasks]
+        prefetch = realtime = comparison = None
+        if system in ("prefetch", "headline"):
+            prefetch = _merge_prefetch(results, self.config)
+        if system in ("realtime", "headline"):
+            realtime = _merge_realtime(results)
+        if system == "headline":
+            comparison = compare(prefetch, realtime)
+        return RunResult(
+            system=system,
+            n_shards=len(tasks),
+            parallelism=self.parallelism,
+            elapsed_s=time.perf_counter() - started,
+            prefetch=prefetch,
+            realtime=realtime,
+            comparison=comparison,
+        )

@@ -42,6 +42,7 @@ class Engine:
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._running = False
+        self._stop_requested = False
         self._processed = 0
 
     @property
@@ -98,9 +99,14 @@ class Engine:
             The simulated time at which the run stopped.
         """
         self._running = True
+        self._stop_requested = False
+        stopped = False
         fired = 0
         try:
             while self._queue:
+                if self._stop_requested:
+                    stopped = True
+                    break
                 if max_events is not None and fired >= max_events:
                     break
                 event = self._queue[0]
@@ -116,9 +122,23 @@ class Engine:
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until:
+            self._stop_requested = False
+        if not stopped and until is not None and self._now < until:
             self._now = until
         return self._now
+
+    def stop(self) -> None:
+        """Request that a :meth:`run` in progress return after the
+        current event.
+
+        Intended to be called from an event callback (or a watchdog
+        event) to abort a long shard run cleanly: pending events stay
+        queued, the clock stays at the last fired event, and a later
+        ``run()`` resumes where the aborted one left off. A no-op when
+        the engine is idle.
+        """
+        if self._running:
+            self._stop_requested = True
 
     def step(self) -> bool:
         """Fire the single next pending event.

@@ -1,0 +1,114 @@
+"""Property tests: accumulator merge() is associative with identity."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.revenue import RevenueReport
+from repro.core.sla import SlaReport
+from repro.metrics.accumulators import (
+    EnergyAccumulator,
+    MeanAccumulator,
+    RevenueAccumulator,
+    SlaAccumulator,
+)
+from repro.metrics.energy import EnergyReport
+
+finite = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+counts = st.integers(min_value=0, max_value=10**6)
+
+energy_accs = st.builds(EnergyAccumulator, ad_joules=finite,
+                        app_joules=finite, wakeups=counts, ad_bytes=counts,
+                        app_bytes=counts, n_users=counts)
+sla_accs = st.builds(SlaAccumulator, n_sales=counts, n_on_time=counts,
+                     n_violated=counts, n_duplicates=counts,
+                     latency_sum_s=finite, n_latencies=counts)
+revenue_accs = st.builds(RevenueAccumulator, billed_prefetch=finite,
+                         billed_fallback=finite, voided=finite,
+                         duplicate_impressions=counts,
+                         duplicate_opportunity_cost=finite,
+                         paid_impressions=counts,
+                         fallback_impressions=counts, unfilled_slots=counts)
+mean_accs = st.builds(MeanAccumulator, total=finite, weight=finite)
+
+
+def _int_fields(acc):
+    return {f: getattr(acc, f) for f in acc.__dataclass_fields__
+            if isinstance(getattr(acc, f), int)}
+
+
+def _float_fields(acc):
+    return {f: getattr(acc, f) for f in acc.__dataclass_fields__
+            if isinstance(getattr(acc, f), float)}
+
+
+def _assert_close(left, right):
+    assert _int_fields(left) == _int_fields(right)
+    lf, rf = _float_fields(left), _float_fields(right)
+    assert lf.keys() == rf.keys()
+    for key in lf:
+        # Float addition is associative only up to rounding; the runner
+        # always folds in shard-index order, so exactness across fold
+        # shapes is not required — closeness is.
+        assert abs(lf[key] - rf[key]) <= 1e-6 * max(1.0, abs(lf[key]))
+
+
+@given(energy_accs, energy_accs, energy_accs)
+def test_energy_merge_associative(a, b, c):
+    _assert_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+    assert a.merge(EnergyAccumulator()) == a
+
+
+@given(sla_accs, sla_accs, sla_accs)
+def test_sla_merge_associative(a, b, c):
+    _assert_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+    assert a.merge(SlaAccumulator()) == a
+
+
+@given(revenue_accs, revenue_accs, revenue_accs)
+def test_revenue_merge_associative(a, b, c):
+    _assert_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+    assert a.merge(RevenueAccumulator()) == a
+
+
+@given(mean_accs, mean_accs, mean_accs)
+def test_mean_merge_associative(a, b, c):
+    _assert_close(a.merge(b).merge(c), a.merge(b.merge(c)))
+    assert a.merge(MeanAccumulator()) == a
+
+
+def test_energy_roundtrip_through_report():
+    report = EnergyReport(ad_joules=12.5, app_joules=40.0, wakeups=7,
+                          ad_bytes=1000, app_bytes=9000, n_users=3, days=2.0)
+    acc = EnergyAccumulator.from_report(report)
+    assert acc.finalize(days=2.0) == report
+
+
+def test_sla_finalize_reweights_latency_mean():
+    # Two shards with different on-time counts: the merged mean must be
+    # the sample-weighted mean, not the mean of means.
+    left = SlaAccumulator.from_report(SlaReport(
+        n_sales=4, n_on_time=3, n_violated=1, n_duplicates=0,
+        mean_latency_s=10.0))
+    right = SlaAccumulator.from_report(SlaReport(
+        n_sales=1, n_on_time=1, n_violated=0, n_duplicates=0,
+        mean_latency_s=50.0))
+    merged = left.merge(right).finalize()
+    assert merged.n_sales == 5 and merged.n_on_time == 4
+    assert merged.mean_latency_s == (3 * 10.0 + 1 * 50.0) / 4
+
+
+def test_revenue_roundtrip_through_report():
+    report = RevenueReport(billed_prefetch=10.0, billed_fallback=2.0,
+                           voided=1.0, duplicate_impressions=3,
+                           duplicate_opportunity_cost=0.5,
+                           paid_impressions=20, fallback_impressions=4,
+                           unfilled_slots=1)
+    acc = RevenueAccumulator.from_report(report)
+    assert acc.finalize() == report
+
+
+def test_mean_accumulator_handles_zero_weight():
+    assert MeanAccumulator().finalize(default=1.0) == 1.0
+    assert MeanAccumulator.from_mean(3.0, 2.0).finalize() == 3.0

@@ -1,0 +1,186 @@
+"""Sharded-runner API: determinism, merging, caching, deprecation."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_headline
+from repro.runner import (
+    Runner,
+    RunResult,
+    WorldCache,
+    auto_shard_count,
+    partition_users,
+    shard_rng_tag,
+)
+
+
+@pytest.fixture(scope="module")
+def shard_world(tiny_config):
+    cache = WorldCache()
+    return cache.get(tiny_config)
+
+
+# ----------------------------------------------------------------------
+# Shard layout
+# ----------------------------------------------------------------------
+
+
+def test_auto_shard_count_scales_with_population():
+    assert auto_shard_count(40) == 1
+    assert auto_shard_count(400) == 2
+    assert auto_shard_count(4000) == 16     # clamped
+    assert auto_shard_count(0) == 1
+
+
+def test_partition_users_is_contiguous_and_near_even():
+    uids = [f"u{i:03d}" for i in range(10)]
+    chunks = partition_users(uids, 3)
+    assert [len(c) for c in chunks] == [4, 3, 3]
+    assert [uid for chunk in chunks for uid in chunk] == uids
+    with pytest.raises(ValueError):
+        partition_users(uids, 0)
+
+
+def test_single_shard_uses_legacy_stream_names():
+    assert shard_rng_tag(0, 1) == ""
+    assert shard_rng_tag(2, 4) == "#shard2/4"
+
+
+# ----------------------------------------------------------------------
+# Determinism: the acceptance criteria
+# ----------------------------------------------------------------------
+
+
+def test_parallelism_does_not_change_results(tiny_config, shard_world):
+    """parallelism=1 vs parallelism=4 on the same 4-shard layout must be
+    bit-for-bit identical — parallelism is purely an execution knob."""
+    serial = Runner(tiny_config, parallelism=1, shards=4,
+                    world=shard_world).run("headline")
+    parallel = Runner(tiny_config, parallelism=4, shards=4,
+                      world=shard_world).run("headline")
+    assert serial.n_shards == parallel.n_shards == 4
+    assert serial.prefetch == parallel.prefetch
+    assert serial.realtime == parallel.realtime
+    assert serial.comparison == parallel.comparison
+
+
+def test_runner_is_deterministic_across_calls(tiny_config, shard_world):
+    a = Runner(tiny_config, shards=2, world=shard_world).run("prefetch")
+    b = Runner(tiny_config, shards=2, world=shard_world).run("prefetch")
+    assert a.prefetch == b.prefetch
+
+
+def test_single_shard_matches_legacy_serial_run(tiny_config, shard_world):
+    """shards=1 reproduces the pre-sharding serial harness exactly."""
+    result = Runner(tiny_config, shards=1, world=shard_world).run("headline")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_headline(tiny_config, shard_world)
+    assert result.prefetch.energy == legacy.prefetch.energy
+    assert result.prefetch.revenue == legacy.prefetch.revenue
+    assert result.prefetch.sla.n_sales == legacy.prefetch.sla.n_sales
+    assert result.prefetch.sla.n_violated == legacy.prefetch.sla.n_violated
+    assert result.prefetch.sla.mean_latency_s == pytest.approx(
+        legacy.prefetch.sla.mean_latency_s)
+    assert result.realtime == legacy.realtime
+
+
+def test_shard_totals_conserve_slots(tiny_config, shard_world):
+    """Sharding partitions users, so population-wide display counts from
+    a sharded run cover the same slots as the single-shard run."""
+    sharded = Runner(tiny_config, shards=4,
+                     world=shard_world).run("prefetch").prefetch
+    single = Runner(tiny_config, shards=1,
+                    world=shard_world).run("prefetch").prefetch
+    assert sharded.total_slots == single.total_slots
+    assert sharded.energy.n_users == single.energy.n_users
+
+
+def test_run_result_value_and_validation(tiny_config, shard_world):
+    result = Runner(tiny_config, world=shard_world).run("realtime")
+    assert isinstance(result, RunResult)
+    assert result.value is result.realtime
+    assert result.prefetch is None and result.comparison is None
+    assert result.elapsed_s > 0
+    with pytest.raises(ValueError):
+        Runner(tiny_config, world=shard_world).run("nonsense")
+    with pytest.raises(ValueError):
+        Runner(tiny_config, parallelism=0)
+    with pytest.raises(ValueError):
+        Runner(tiny_config, shards=0)
+
+
+# ----------------------------------------------------------------------
+# WorldCache
+# ----------------------------------------------------------------------
+
+
+def test_world_cache_hits_and_lru_bound():
+    cache = WorldCache(max_worlds=2)
+    configs = [ExperimentConfig(n_users=10, n_days=4, train_days=2, seed=s)
+               for s in (1, 2, 3)]
+    first = cache.get(configs[0])
+    assert cache.get(configs[0]) is first
+    assert cache.hits == 1 and cache.misses == 1
+    cache.get(configs[1])
+    cache.get(configs[2])          # evicts configs[0]
+    assert len(cache) == 2
+    assert cache.get(configs[0]) is not first  # rebuilt after eviction
+    assert cache.misses == 4
+
+
+def test_world_cache_clear():
+    cache = WorldCache()
+    config = ExperimentConfig(n_users=10, n_days=4, train_days=2, seed=5)
+    cache.get(config)
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_world_cache_spills_traces_to_disk(tmp_path):
+    config = ExperimentConfig(n_users=10, n_days=4, train_days=2, seed=11)
+    writer = WorldCache(spill_dir=tmp_path)
+    built = writer.get(config)
+    spill = writer.spill_path(config)
+    assert spill is not None and spill.exists()
+
+    reader = WorldCache(spill_dir=tmp_path)
+    reloaded = reader.get(config)
+    assert reader.spill_loads == 1
+    assert set(reloaded.timelines) == set(built.timelines)
+    # Same radio-profile assignment (drawn from the seed, not the file).
+    assert {u: p.name for u, p in reloaded.profile_of.items()} == \
+           {u: p.name for u, p in built.profile_of.items()}
+
+
+def test_world_cache_disabled_spill_has_no_path():
+    cache = WorldCache()
+    config = ExperimentConfig(n_users=10, n_days=4, train_days=2, seed=1)
+    assert cache.spill_path(config) is None
+
+
+# ----------------------------------------------------------------------
+# API redesign: deprecations and keyword-only config
+# ----------------------------------------------------------------------
+
+
+def test_legacy_wrappers_emit_deprecation_warning(tiny_config, shard_world):
+    with pytest.warns(DeprecationWarning, match="Runner"):
+        run_headline(tiny_config, shard_world)
+
+
+def test_experiment_config_rejects_positional_args():
+    with pytest.raises(TypeError):
+        ExperimentConfig(7, 40)  # noqa: must use keywords
+
+
+def test_runner_exported_from_package_root():
+    import repro
+    assert repro.Runner is Runner
+    assert repro.WorldCache is WorldCache
+    assert repro.RunResult is RunResult

@@ -131,3 +131,36 @@ def test_peek_time_skips_cancelled():
     eng.schedule_at(2.0, lambda: None)
     first.cancel()
     assert eng.peek_time() == 2.0
+
+
+def test_stop_aborts_run_after_current_event():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(1.0, hits.append, (1,))
+    eng.schedule_at(2.0, lambda: (hits.append(2), eng.stop()))
+    eng.schedule_at(3.0, hits.append, (3,))
+    eng.run(until=10.0)
+    assert hits == [1, 2]
+    # Clock stays at the last fired event, not clamped to `until`.
+    assert eng.now == 2.0
+    assert eng.pending_events == 1
+
+
+def test_stop_leaves_engine_resumable():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(1.0, lambda: (hits.append(1), eng.stop()))
+    eng.schedule_at(2.0, hits.append, (2,))
+    eng.run()
+    assert hits == [1]
+    eng.run()
+    assert hits == [1, 2]
+
+
+def test_stop_while_idle_is_a_noop():
+    eng = Engine()
+    eng.stop()
+    hits = []
+    eng.schedule_at(1.0, hits.append, (1,))
+    eng.run()
+    assert hits == [1]
