@@ -1,0 +1,80 @@
+"""Baseline file support for grandfathered findings.
+
+The baseline (``analysis/repro-lint-baseline.json``) records
+fingerprints of known findings so a clean-up can land incrementally:
+baselined findings are reported but do not fail the run, and a fixed
+finding whose fingerprint no longer matches anything is surfaced as
+*stale* so the file shrinks monotonically. The committed baseline for
+this repository is empty — every true positive was fixed, not waived —
+and the ``_comment`` field documents the policy for adding one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Set of grandfathered finding fingerprints, with provenance."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+    comment: str = ("Grandfathered repro-lint findings. Add entries only "
+                    "with a justification; prefer fixing or inline "
+                    "'# repro-lint: disable=' with a reason.")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        entries = {entry["fingerprint"]: entry
+                   for entry in data.get("findings", [])}
+        return cls(entries=entries,
+                   comment=data.get("_comment", cls.comment))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "scope": finding.scope,
+                "message": finding.message,
+            }
+        return baseline
+
+    def save(self, path: str | Path) -> None:
+        entries = [self.entries[key] for key in sorted(self.entries)]
+        payload = {
+            "version": _VERSION,
+            "_comment": self.comment,
+            "findings": entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Partition into (new, baselined) and list stale fingerprints."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, baselined, stale

@@ -1,0 +1,123 @@
+"""``repro-lint`` command-line interface.
+
+::
+
+    repro-lint                          # lint src/ and tests/
+    repro-lint src/repro/sim            # lint a subtree
+    repro-lint --format json            # machine-readable output
+    repro-lint --write-baseline         # grandfather current findings
+    repro-lint --check-manifest         # fail on stream-manifest drift
+    repro-lint --write-manifest         # regenerate analysis/streams.json
+    repro-lint --select RPR001,RPR003   # subset of rule families
+
+Exit codes: 0 clean, 1 findings (or manifest drift / parse errors),
+2 usage error.
+
+(Equivalently: ``python -m repro.analysis ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import run_analysis
+from .manifest import check_manifest, write_manifest
+from .reporter import LintOutcome, render_json, render_text
+
+DEFAULT_BASELINE = Path("analysis/repro-lint-baseline.json")
+DEFAULT_MANIFEST = Path("analysis/streams.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & unit-discipline analyzer "
+                    "for the ad-prefetch reproduction")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "when it exists)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--manifest", type=Path, default=DEFAULT_MANIFEST,
+                        help="stream-name manifest path")
+    parser.add_argument("--check-manifest", action="store_true",
+                        help="fail when the committed stream manifest "
+                             "drifted from the code")
+    parser.add_argument("--write-manifest", action="store_true",
+                        help="regenerate the stream manifest and exit 0")
+    return parser
+
+
+def _default_paths() -> list[str]:
+    paths = [p for p in ("src", "tests") if Path(p).exists()]
+    return paths or ["."]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    paths = args.paths or _default_paths()
+    select = (args.select.replace(" ", "").split(",")
+              if args.select else None)
+    try:
+        report = run_analysis(paths, select=select)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_manifest:
+        write_manifest(report.stream_sites, args.manifest)
+        print(f"wrote {len({s.template for s in report.stream_sites})} "
+              f"stream name(s) to {args.manifest}")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(report.findings).save(target)
+        print(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
+
+    outcome = LintOutcome(
+        suppressed=report.suppressed,
+        files_analyzed=report.files_analyzed,
+        parse_errors=report.parse_errors,
+    )
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: cannot read baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        (outcome.new_findings, outcome.baselined,
+         outcome.stale_baseline) = baseline.split(report.findings)
+    else:
+        outcome.new_findings = report.findings
+
+    if args.check_manifest:
+        outcome.manifest_problems = check_manifest(
+            report.stream_sites, args.manifest)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(outcome))
+    return 1 if outcome.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

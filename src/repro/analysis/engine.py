@@ -1,0 +1,109 @@
+"""Analysis engine: file discovery, rule execution, suppression.
+
+The engine is deliberately import-light (stdlib only) so ``repro-lint``
+can run in environments where the simulator's dependencies are absent —
+e.g. a pre-commit hook or a minimal CI container.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .context import FileContext
+from .findings import Finding
+from .rules import Rule, get_rules
+from .rules.rng_streams import iter_stream_calls
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv",
+                        "node_modules", "build", "dist"})
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic sorted order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in _SKIP_DIRS and not d.endswith(".egg-info"))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield Path(dirpath) / filename
+
+
+@dataclass(slots=True)
+class StreamSite:
+    """One statically-resolved RNG stream name and where it is requested."""
+
+    template: str
+    path: str
+    line: int
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """Outcome of one engine run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_analyzed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    stream_sites: list[StreamSite] = field(default_factory=list)
+
+
+def analyze_source(source: str, path: str,
+                   rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    Suppression comments are honored; findings are returned sorted by
+    location. Raises ``SyntaxError`` for unparsable input.
+    """
+    ctx = FileContext(source, path)
+    active = list(rules) if rules is not None else get_rules()
+    findings = [
+        finding
+        for rule in active
+        for finding in rule.check(ctx)
+        if not ctx.is_suppressed(finding.rule, finding.line)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def run_analysis(paths: Sequence[str | Path],
+                 select: list[str] | None = None) -> AnalysisReport:
+    """Lint every python file under ``paths`` with the selected rules."""
+    report = AnalysisReport()
+    rules = get_rules(select)
+    for file_path in iter_python_files(paths):
+        rel = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = FileContext(source, rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{rel}: {exc}")
+            continue
+        report.files_analyzed += 1
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+        # Stream-manifest collection covers shipped code only; test
+        # streams are not part of the reproducibility surface.
+        if not ctx.is_test:
+            for node, template in iter_stream_calls(ctx):
+                if template is not None:
+                    report.stream_sites.append(StreamSite(
+                        template=template, path=rel, line=node.lineno))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.stream_sites.sort(key=lambda s: (s.template, s.path, s.line))
+    return report

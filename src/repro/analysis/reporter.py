@@ -1,0 +1,63 @@
+"""Text and JSON rendering for ``repro-lint`` results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+
+@dataclass(slots=True)
+class LintOutcome:
+    """Everything the CLI needs to render and pick an exit code."""
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    suppressed: int = 0
+    files_analyzed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    manifest_problems: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_findings or self.parse_errors
+                    or self.manifest_problems)
+
+
+def render_text(outcome: LintOutcome) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in outcome.new_findings:
+        lines.append(finding.render())
+    for finding in outcome.baselined:
+        lines.append(f"{finding.render()} [baselined]")
+    for problem in outcome.manifest_problems:
+        lines.append(f"manifest: {problem}")
+    for error in outcome.parse_errors:
+        lines.append(f"error: {error}")
+    for fingerprint in outcome.stale_baseline:
+        lines.append(f"note: baseline entry {fingerprint} no longer "
+                     "matches any finding; remove it")
+    lines.append(
+        f"repro-lint: {len(outcome.new_findings)} finding(s), "
+        f"{len(outcome.baselined)} baselined, "
+        f"{outcome.suppressed} suppressed, "
+        f"{outcome.files_analyzed} file(s) analyzed")
+    return "\n".join(lines)
+
+
+def render_json(outcome: LintOutcome) -> str:
+    """Machine-readable report mirroring :func:`render_text`."""
+    payload = {
+        "findings": [f.to_json() for f in outcome.new_findings],
+        "baselined": [f.to_json() for f in outcome.baselined],
+        "stale_baseline": outcome.stale_baseline,
+        "suppressed": outcome.suppressed,
+        "files_analyzed": outcome.files_analyzed,
+        "parse_errors": outcome.parse_errors,
+        "manifest_problems": outcome.manifest_problems,
+        "ok": not outcome.failed,
+    }
+    return json.dumps(payload, indent=2)

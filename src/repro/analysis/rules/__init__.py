@@ -1,0 +1,39 @@
+"""Rule registry for ``repro-lint``.
+
+Rules register here by id; :func:`get_rules` materializes the (optionally
+filtered) active set for one engine run.
+"""
+
+from __future__ import annotations
+
+from .common import Rule
+from .determinism import DeterminismRule
+from .merges import MergeRule
+from .rng_streams import RngStreamRule
+from .units import UnitRule
+
+ALL_RULES: dict[str, type[Rule]] = {
+    rule.id: rule
+    for rule in (DeterminismRule, RngStreamRule, UnitRule, MergeRule)
+}
+
+
+def get_rules(select: list[str] | None = None) -> list[Rule]:
+    """Instantiate the active rules (all by default).
+
+    ``select`` is a list of rule ids; unknown ids raise ``ValueError``
+    so CI configs fail loudly rather than silently checking nothing.
+    """
+    if select is None:
+        ids = sorted(ALL_RULES)
+    else:
+        unknown = sorted(set(select) - set(ALL_RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(ALL_RULES))}")
+        ids = sorted(set(select))
+    return [ALL_RULES[rule_id]() for rule_id in ids]
+
+
+__all__ = ["ALL_RULES", "Rule", "get_rules"]

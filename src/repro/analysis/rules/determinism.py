@@ -1,0 +1,101 @@
+"""RPR001 — determinism hazards.
+
+Flags ambient-nondeterminism sources anywhere in the tree:
+
+* calls through the stdlib ``random`` module's hidden global state;
+* numpy legacy global-state draws (``np.random.seed``, ``np.random
+  .rand``, …);
+* wall-clock/entropy reads (``time.time``, ``datetime.now``,
+  ``os.urandom``, ``uuid.uuid4``); elapsed-time reporting must use the
+  monotonic allowlist (``time.perf_counter`` and friends);
+* iteration over bare ``set`` expressions in order-sensitive positions
+  (``for`` targets, comprehensions, ``sum``/``list``/``reduce``
+  arguments) without a ``sorted(...)`` wrapper — set order depends on
+  PYTHONHASHSEED, so it differs between the Runner's worker processes.
+
+Constructor-shaped RNG calls (``default_rng``, ``Generator``,
+``random.Random``) are RPR002's jurisdiction and skipped here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from .common import (
+    ALLOWED_CLOCK_CALLS,
+    NUMPY_GLOBAL_FUNCS,
+    ORDER_SENSITIVE_CONSUMERS,
+    RNG_CONSTRUCTOR_CALLS,
+    WALL_CLOCK_CALLS,
+    Rule,
+    is_set_expr,
+    iter_calls,
+    make_finding,
+)
+
+
+class DeterminismRule(Rule):
+    id = "RPR001"
+    title = "determinism hazards"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_calls(ctx)
+        yield from self._check_set_iteration(ctx)
+
+    # -- ambient state calls --------------------------------------------
+
+    def _check_calls(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, name in iter_calls(ctx):
+            if name in RNG_CONSTRUCTOR_CALLS or name in ALLOWED_CLOCK_CALLS:
+                continue
+            if name in WALL_CLOCK_CALLS:
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"wall-clock/entropy call {name}() in deterministic "
+                    "code; use time.perf_counter() for elapsed timing or "
+                    "thread simulated time explicitly")
+            elif name.startswith("random."):
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() draws from the stdlib global RNG; thread an "
+                    "explicit numpy Generator from RngRegistry instead")
+            elif (name.startswith("numpy.random.")
+                  and name.rsplit(".", 1)[-1] in NUMPY_GLOBAL_FUNCS):
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() uses numpy's hidden global RandomState; "
+                    "thread an explicit Generator from RngRegistry instead")
+
+    # -- unordered iteration --------------------------------------------
+
+    def _set_iter_finding(self, ctx: FileContext, node: ast.AST,
+                          where: str) -> Finding:
+        return make_finding(
+            self.id, ctx, node,
+            f"iteration over a bare set {where} is PYTHONHASHSEED-"
+            "dependent and breaks cross-process reproducibility; wrap "
+            "the set in sorted(...)")
+
+    def _check_set_iteration(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set_expr(node.iter):
+                    yield self._set_iter_finding(ctx, node.iter,
+                                                 "in a for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    if is_set_expr(comp.iter):
+                        yield self._set_iter_finding(ctx, comp.iter,
+                                                     "in a comprehension")
+            elif isinstance(node, ast.Call):
+                name = ctx.dotted_name(node.func)
+                if name in ORDER_SENSITIVE_CONSUMERS:
+                    # reduce(fn, iterable, ...) takes its iterable second.
+                    idx = 1 if name.endswith("reduce") else 0
+                    if len(node.args) > idx and is_set_expr(node.args[idx]):
+                        yield self._set_iter_finding(
+                            ctx, node.args[idx], f"passed to {name}(...)")

@@ -1,0 +1,87 @@
+"""RPR004 — merge associativity for sharded-metric accumulators.
+
+The Runner folds shard results through the accumulators in
+:mod:`repro.metrics.accumulators`; parallelism-invariance holds only if
+every accumulator exposes an associative ``merge``. This rule enforces
+the structural half of that contract:
+
+* every ``*Accumulator`` class under ``repro/metrics/`` must define a
+  ``merge`` method, and that method must return a value (an in-place
+  mutating merge is a latent aliasing bug across shard boundaries);
+* inside ``repro/metrics/``, float reductions (``sum``, ``fsum``,
+  ``reduce``) over bare ``set`` expressions are flagged — float addition
+  is not associative under reordering, and set order is
+  PYTHONHASHSEED-dependent (the general case is RPR001; it is repeated
+  here for metrics code because there it changes published numbers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from .common import Rule, is_set_expr, iter_calls, make_finding
+
+_METRICS_PREFIX = ("repro", "metrics")
+_REDUCERS = frozenset({"sum", "fsum", "math.fsum", "reduce",
+                       "functools.reduce"})
+
+
+def _returns_value(func: ast.FunctionDef) -> bool:
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(item, ast.Return) and item.value is not None:
+            return True
+        stack.extend(ast.iter_child_nodes(item))
+    return False
+
+
+class MergeRule(Rule):
+    id = "RPR004"
+    title = "merge associativity"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module_parts[:2] != _METRICS_PREFIX:
+            return
+        yield from self._check_accumulator_classes(ctx)
+        yield from self._check_reductions(ctx)
+
+    def _check_accumulator_classes(self,
+                                   ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and node.name.endswith("Accumulator")):
+                continue
+            merge = next(
+                (item for item in node.body
+                 if isinstance(item, ast.FunctionDef)
+                 and item.name == "merge"), None)
+            if merge is None:
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"accumulator class '{node.name}' has no merge() "
+                    "method; sharded runs cannot fold its results")
+            elif not _returns_value(merge):
+                yield make_finding(
+                    self.id, ctx, merge,
+                    f"'{node.name}.merge' never returns a value; merge "
+                    "must be a pure associative combination, not an "
+                    "in-place mutation")
+
+    def _check_reductions(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, name in iter_calls(ctx):
+            if name not in _REDUCERS:
+                continue
+            idx = 1 if name.endswith("reduce") else 0
+            if len(node.args) > idx and is_set_expr(node.args[idx]):
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}(...) over a set in metrics code: float "
+                    "reduction order is PYTHONHASHSEED-dependent; sort "
+                    "the operands first")

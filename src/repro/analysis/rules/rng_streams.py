@@ -1,0 +1,119 @@
+"""RPR002 — RNG stream discipline.
+
+Two obligations keep the Runner's parallelism-invariance provable:
+
+1. **Construction is centralized.** Only :mod:`repro.sim.rng` may build
+   numpy bit generators / ``Generator`` objects. Everything else
+   receives a threaded ``np.random.Generator`` parameter or asks an
+   ``RngRegistry`` for a named stream. A stray
+   ``np.random.default_rng()`` deep in sim code silently decouples that
+   component from the master seed.
+
+2. **Stream names are statically knowable.** Arguments to
+   ``registry.stream(...)`` / ``registry.fresh(...)`` must be string
+   literals, f-strings over simple names, or ``literal + name``
+   concatenations (the shard-tag idiom). The resolvable templates are
+   collected into a committed manifest (``analysis/streams.json``) so a
+   stream rename — which silently re-seeds a component — shows up as a
+   manifest diff in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from .common import (
+    RNG_CONSTRUCTOR_CALLS,
+    RNG_HOME_MODULE,
+    Rule,
+    iter_calls,
+    make_finding,
+)
+
+_STREAM_METHODS = frozenset({"stream", "fresh"})
+
+
+def stream_name_template(node: ast.expr) -> str | None:
+    """Render a stream-name expression to a stable template, or ``None``.
+
+    ``"traces"`` → ``traces``; ``"campaigns" + rng_tag`` →
+    ``campaigns{rng_tag}``; ``f"user-{uid}"`` → ``user-{uid}``. Returns
+    ``None`` for expressions that cannot be statically templated (calls,
+    subscripts, conditionals, …) — those are RPR002 findings.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return "{" + node.id + "}"
+    if isinstance(node, ast.Attribute):
+        inner = stream_name_template(node.value)
+        if inner is None:
+            return None
+        return "{" + inner.strip("{}") + "." + node.attr + "}"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = stream_name_template(node.left)
+        right = stream_name_template(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif isinstance(piece, ast.FormattedValue):
+                inner = stream_name_template(piece.value)
+                if inner is None:
+                    return None
+                parts.append(inner if inner.startswith("{")
+                             else "{" + inner + "}")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+def iter_stream_calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str | None]]:
+    """Yield ``(call, template)`` for every ``.stream(...)``/``.fresh(...)``.
+
+    ``template`` is ``None`` when the name expression is not statically
+    resolvable. Calls with the wrong arity are reported as unresolvable
+    (empty-argument registries cannot name a stream).
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _STREAM_METHODS):
+            continue
+        if len(node.args) != 1 or node.keywords:
+            yield node, None
+            continue
+        yield node, stream_name_template(node.args[0])
+
+
+class RngStreamRule(Rule):
+    id = "RPR002"
+    title = "RNG stream discipline"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_rng_home = ctx.module == RNG_HOME_MODULE
+        for node, name in iter_calls(ctx):
+            if name in RNG_CONSTRUCTOR_CALLS and not in_rng_home:
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() constructs an RNG outside {RNG_HOME_MODULE}; "
+                    "thread an np.random.Generator parameter or request a "
+                    "named RngRegistry stream instead")
+        for node, template in iter_stream_calls(ctx):
+            if template is None:
+                yield make_finding(
+                    self.id, ctx, node,
+                    "stream name is not statically resolvable; use a string "
+                    "literal, an f-string over simple names, or a "
+                    "literal + tag concatenation so the stream manifest "
+                    "can track it")

@@ -1,0 +1,176 @@
+"""RPR003 — unit discipline over the energy/revenue models.
+
+The codebase encodes physical dimensions in name suffixes (``ad_joules``,
+``epoch_s``, ``latency_sum_s``, ``billed_usd``). This rule is a
+lightweight dimension checker over those conventions:
+
+* adding, subtracting, or comparing two unit-suffixed names whose
+  suffixes disagree — either across dimensions (``_j`` + ``_s``) or
+  across scales of one dimension (``_s`` + ``_ms``) — is flagged;
+  multiplication/division are exempt (they legitimately combine
+  dimensions);
+* passing a unit-suffixed name to a keyword parameter carrying a
+  different unit suffix is flagged (``EnergyReport(ad_joules=x_ms)``);
+* a function whose name promises a unit must not return a bare nonzero
+  numeric literal (zero is dimension-neutral and allowed as the empty
+  default).
+
+Count-style names (``n_users``, ``n_days``) are excluded: the ``n_``
+prefix marks a dimensionless cardinality even when the tail looks like
+a unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from .common import Rule, make_finding
+
+#: suffix → (dimension, scale relative to the dimension's base unit).
+UNIT_SUFFIXES: dict[str, tuple[str, float]] = {
+    "s": ("time", 1.0),
+    "ms": ("time", 1e-3),
+    "us": ("time", 1e-6),
+    "ns": ("time", 1e-9),
+    "day": ("time", 86400.0),
+    "days": ("time", 86400.0),
+    "j": ("energy", 1.0),
+    "joules": ("energy", 1.0),
+    "mj": ("energy", 1e-3),
+    "kj": ("energy", 1e3),
+    "mwh": ("energy", 3600.0),
+    "usd": ("money", 1.0),
+    "cents": ("money", 0.01),
+    "bytes": ("data", 1.0),
+    "kb": ("data", 1e3),
+    "mb": ("data", 1e6),
+    "gb": ("data", 1e9),
+}
+
+#: Name prefixes marking dimensionless counts, exempt from unit checks.
+_COUNT_PREFIXES = ("n_", "num_", "idx_")
+
+
+def unit_of(name: str) -> tuple[str, str, float] | None:
+    """``(suffix, dimension, scale)`` for a unit-suffixed name, else None."""
+    if name.startswith(_COUNT_PREFIXES):
+        return None
+    if "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[-1].lower()
+    entry = UNIT_SUFFIXES.get(suffix)
+    if entry is None:
+        return None
+    return (suffix, entry[0], entry[1])
+
+
+def _named_unit(node: ast.expr) -> tuple[str, str, str, float] | None:
+    """``(display_name, suffix, dimension, scale)`` for Name/Attribute."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    unit = unit_of(name)
+    if unit is None:
+        return None
+    return (name, *unit)
+
+
+def _mismatch(a: tuple[str, str, str, float],
+              b: tuple[str, str, str, float]) -> str | None:
+    """Human-readable mismatch description, or None when compatible."""
+    _, suf_a, dim_a, scale_a = a
+    _, suf_b, dim_b, scale_b = b
+    if dim_a != dim_b:
+        return f"mixes dimensions {dim_a} (_{suf_a}) and {dim_b} (_{suf_b})"
+    if scale_a != scale_b:
+        return (f"mixes {dim_a} scales _{suf_a} and _{suf_b} "
+                "without an explicit conversion")
+    return None
+
+
+class UnitRule(Rule):
+    id = "RPR003"
+    title = "unit discipline"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(ctx, node, node.target, node.value)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(ctx, node, left, right)
+            elif isinstance(node, ast.Call):
+                yield from self._check_keywords(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_literal_returns(ctx, node)
+
+    def _check_pair(self, ctx: FileContext, where: ast.AST,
+                    left: ast.expr, right: ast.expr) -> Iterator[Finding]:
+        a = _named_unit(left)
+        b = _named_unit(right)
+        if a is None or b is None:
+            return
+        problem = _mismatch(a, b)
+        if problem is not None:
+            yield make_finding(
+                self.id, ctx, where,
+                f"'{a[0]}' vs '{b[0]}' {problem}")
+
+    def _check_keywords(self, ctx: FileContext,
+                        node: ast.Call) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            param = unit_of(keyword.arg)
+            if param is None:
+                continue
+            value = _named_unit(keyword.value)
+            if value is None:
+                continue
+            problem = _mismatch((keyword.arg, *param), value)
+            if problem is not None:
+                yield make_finding(
+                    self.id, ctx, keyword.value,
+                    f"keyword '{keyword.arg}' receives '{value[0]}': "
+                    f"{problem}")
+
+    def _check_literal_returns(self, ctx: FileContext,
+                               node: ast.FunctionDef | ast.AsyncFunctionDef
+                               ) -> Iterator[Finding]:
+        if unit_of(node.name) is None:
+            return
+        # Walk only this function's own statements (not nested defs).
+        stack: list[ast.AST] = list(node.body)
+        returns: list[ast.Return] = []
+        while stack:
+            item = stack.pop()
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(item, ast.Return):
+                returns.append(item)
+            stack.extend(ast.iter_child_nodes(item))
+        for child in returns:
+            if child.value is None:
+                continue
+            value = child.value
+            if (isinstance(value, ast.Constant)
+                    and isinstance(value.value, (int, float))
+                    and not isinstance(value.value, bool)
+                    and value.value != 0):
+                yield make_finding(
+                    self.id, ctx, child,
+                    f"function '{node.name}' promises a unit but returns the "
+                    f"bare literal {value.value!r}; name the constant with "
+                    "a unit suffix so its dimension is checkable")

@@ -66,10 +66,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
-        started = time.time()
+        started = time.perf_counter()
         result = run_experiment(eid, config, jobs=args.jobs)
         print(result.render())
-        print(f"[{eid} took {time.time() - started:.1f}s]\n")
+        print(f"[{eid} took {time.perf_counter() - started:.1f}s]\n")
     return 0
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.client.device import Device
 from repro.core.revenue import RevenueReport
 from repro.core.sla import SlaReport
 
@@ -55,7 +56,7 @@ class EnergyAccumulator:
         )
 
     @classmethod
-    def from_devices(cls, devices: Iterable) -> "EnergyAccumulator":
+    def from_devices(cls, devices: Iterable[Device]) -> "EnergyAccumulator":
         """Accumulate finalized :class:`~repro.client.device.Device`s."""
         acc = cls()
         for device in devices:

@@ -163,7 +163,7 @@ class WorldCache:
         self.max_worlds = int(max_worlds)
         self.spill_dir = (Path(spill_dir).expanduser()
                           if spill_dir is not None else None)
-        self._worlds: OrderedDict[tuple, World] = OrderedDict()
+        self._worlds: OrderedDict[tuple[object, ...], World] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.spill_loads = 0
@@ -172,7 +172,7 @@ class WorldCache:
         return len(self._worlds)
 
     def _key(self, config: ExperimentConfig,
-             apps: Sequence[AppProfile]) -> tuple:
+             apps: Sequence[AppProfile]) -> tuple[object, ...]:
         return (config.world_key(), tuple(a.app_id for a in apps))
 
     def spill_path(self, config: ExperimentConfig,
@@ -305,7 +305,8 @@ def _run_shard(task: ShardTask) -> ShardResult:
 def _merge_prefetch(results: Sequence[ShardResult],
                     config: ExperimentConfig) -> PrefetchOutcome:
     """Fold shard prefetch outcomes into one population-wide outcome."""
-    outcomes = [r.prefetch for r in results]
+    pairs = [(r.prefetch, r) for r in results if r.prefetch is not None]
+    outcomes = [outcome for outcome, _ in pairs]
     energy = reduce(EnergyAccumulator.merge,
                     (EnergyAccumulator.from_report(o.energy)
                      for o in outcomes), EnergyAccumulator())
@@ -318,7 +319,7 @@ def _merge_prefetch(results: Sequence[ShardResult],
     replication = reduce(
         MeanAccumulator.merge,
         (MeanAccumulator.from_mean(o.mean_replication, r.replication_weight)
-         for o, r in zip(outcomes, results)), MeanAccumulator())
+         for o, r in pairs), MeanAccumulator())
     return PrefetchOutcome(
         energy=energy.finalize(float(config.test_days)),
         sla=sla.finalize(),
@@ -335,7 +336,7 @@ def _merge_prefetch(results: Sequence[ShardResult],
 
 def _merge_realtime(results: Sequence[ShardResult]) -> RealtimeOutcome:
     """Fold shard realtime outcomes into one population-wide outcome."""
-    outcomes = [r.realtime for r in results]
+    outcomes = [r.realtime for r in results if r.realtime is not None]
     energy = reduce(EnergyAccumulator.merge,
                     (EnergyAccumulator.from_report(o.energy)
                      for o in outcomes), EnergyAccumulator())
@@ -366,7 +367,7 @@ class RunResult:
     comparison: Comparison | None = None
 
     @property
-    def value(self):
+    def value(self) -> Comparison | PrefetchOutcome | RealtimeOutcome | None:
         """The system's primary result object.
 
         The :class:`~repro.metrics.outcomes.Comparison` for
@@ -480,6 +481,7 @@ class Runner:
         if system in ("realtime", "headline"):
             realtime = _merge_realtime(results)
         if system == "headline":
+            assert prefetch is not None and realtime is not None
             comparison = compare(prefetch, realtime)
         return RunResult(
             system=system,

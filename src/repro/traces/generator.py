@@ -108,9 +108,11 @@ class TraceGenerator:
                 duration = float(np.clip(duration, cfg.min_session_s,
                                          cfg.max_session_s))
                 # Clamp sessions to the trace horizon so downstream hour
-                # indexing stays in range.
+                # indexing stays in range. Sessions starting too close to
+                # the horizon to fit the minimum duration are dropped —
+                # clamping them would violate the min_session_s invariant.
                 end_cap = cfg.n_days * SECONDS_PER_DAY
-                if start >= end_cap:
+                if start > end_cap - cfg.min_session_s - 1e-6:
                     continue
                 duration = min(duration, end_cap - start - 1e-6)
                 sessions.append(Session(user.user_id, app.app_id, start, duration))

@@ -1,7 +1,7 @@
 """Property-based tests for trace generation and show-curve windows."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.showcurve import WindowedShowCurveEstimator
@@ -17,6 +17,11 @@ from repro.workloads.population import PopulationConfig, build_population
        n_users=st.integers(min_value=1, max_value=12),
        n_days=st.integers(min_value=1, max_value=5))
 @settings(max_examples=25, deadline=None)
+@example(
+    seed=651,
+    n_users=4,
+    n_days=3,
+).via('discovered failure')
 def test_generated_traces_always_valid(seed, n_users, n_days):
     registry = RngRegistry(seed)
     population = build_population(PopulationConfig(n_users=n_users),

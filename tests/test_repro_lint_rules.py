@@ -1,0 +1,444 @@
+"""Unit tests for the repro-lint rule families on synthetic snippets.
+
+Each rule family gets positive cases (the hazard is reported) and
+negative cases (the disciplined idiom passes), plus suppression-comment
+handling. Snippets are analyzed in-memory via
+:func:`repro.analysis.analyze_source` with paths chosen to exercise the
+path-sensitive rules (``repro/sim/rng.py`` construction amnesty,
+``repro/metrics/`` accumulator scoping).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.context import FileContext
+from repro.analysis.rules.rng_streams import stream_name_template
+from repro.analysis.rules.units import unit_of
+
+SIM_PATH = "src/repro/sim/processes.py"
+
+
+def lint(source: str, path: str = SIM_PATH):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------
+# RPR001 — determinism hazards
+# ---------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_stdlib_global_random_flagged(self):
+        findings = lint("""
+            import random
+
+            def jitter() -> float:
+                return random.random()
+            """)
+        assert rules_of(findings) == {"RPR001"}
+        assert "global RNG" in findings[0].message
+
+    def test_from_import_random_resolved(self):
+        findings = lint("""
+            from random import uniform
+
+            def jitter() -> float:
+                return uniform(0, 1)
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_numpy_global_state_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def noise():
+                np.random.seed(0)
+                return np.random.rand(4)
+            """)
+        assert len(findings) == 2
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_wall_clock_flagged(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_datetime_now_flagged_through_from_import(self):
+        findings = lint("""
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_perf_counter_allowed(self):
+        assert lint("""
+            import time
+
+            def elapsed() -> float:
+                started = time.perf_counter()
+                return time.perf_counter() - started
+            """) == []
+
+    def test_threaded_generator_draw_allowed(self):
+        assert lint("""
+            import numpy as np
+
+            def draw(rng: np.random.Generator) -> float:
+                return float(rng.random())
+            """) == []
+
+    def test_for_over_set_flagged(self):
+        findings = lint("""
+            def total(users):
+                acc = 0.0
+                for uid in set(users):
+                    acc += len(uid)
+                return acc
+            """)
+        assert rules_of(findings) == {"RPR001"}
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_sum_over_set_literal_flagged(self):
+        findings = lint("""
+            def total(a, b, c):
+                return sum({a, b, c})
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_sorted_set_allowed(self):
+        assert lint("""
+            def total(users):
+                acc = 0.0
+                for uid in sorted(set(users)):
+                    acc += len(uid)
+                return acc
+            """) == []
+
+    def test_dict_iteration_allowed(self):
+        # dicts iterate in insertion order (py3.7+): deterministic.
+        assert lint("""
+            def total(table):
+                return sum(table.values())
+            """) == []
+
+
+# ---------------------------------------------------------------------
+# RPR002 — RNG stream discipline
+# ---------------------------------------------------------------------
+
+
+class TestRngStreams:
+    def test_default_rng_outside_rng_home_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(7)
+            """)
+        assert rules_of(findings) == {"RPR002"}
+
+    def test_default_rng_without_import_still_flagged(self):
+        # An un-imported ``np`` is a NameError at runtime, but the
+        # hazard must not hide behind the missing import.
+        findings = lint("""
+            def make():
+                return np.random.default_rng(7)
+            """)
+        assert rules_of(findings) == {"RPR002"}
+
+    def test_legacy_randomstate_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.RandomState(7)
+            """)
+        assert rules_of(findings) == {"RPR002"}
+
+    def test_construction_allowed_in_rng_home(self):
+        assert lint("""
+            import numpy as np
+
+            def make(seed) -> np.random.Generator:
+                return np.random.Generator(np.random.PCG64(seed))
+            """, path="src/repro/sim/rng.py") == []
+
+    def test_literal_stream_name_allowed(self):
+        assert lint("""
+            def build(registry):
+                return registry.stream("traces")
+            """) == []
+
+    def test_tag_concatenation_allowed(self):
+        assert lint("""
+            def build(registry, rng_tag: str):
+                return registry.fresh("campaigns" + rng_tag)
+            """) == []
+
+    def test_fstring_stream_name_allowed(self):
+        assert lint("""
+            def build(registry, shard: int):
+                return registry.stream(f"exchange#{shard}")
+            """) == []
+
+    def test_computed_stream_name_flagged(self):
+        findings = lint("""
+            def build(registry, names):
+                return registry.stream(names.pop())
+            """)
+        assert rules_of(findings) == {"RPR002"}
+        assert "statically resolvable" in findings[0].message
+
+    def test_stream_call_arity_flagged(self):
+        findings = lint("""
+            def build(registry):
+                return registry.stream("a", "b")
+            """)
+        assert rules_of(findings) == {"RPR002"}
+
+    def test_stream_name_template_rendering(self):
+        import ast
+
+        def template_of(expr: str):
+            return stream_name_template(ast.parse(expr, mode="eval").body)
+
+        assert template_of("'traces'") == "traces"
+        assert template_of("'campaigns' + rng_tag") == "campaigns{rng_tag}"
+        assert template_of("f'user-{uid}'") == "user-{uid}"
+        assert template_of("names.pop()") is None
+
+
+# ---------------------------------------------------------------------
+# RPR003 — unit discipline
+# ---------------------------------------------------------------------
+
+
+class TestUnits:
+    def test_cross_dimension_add_flagged(self):
+        findings = lint("""
+            def total(tail_j: float, epoch_s: float) -> float:
+                return tail_j + epoch_s
+            """)
+        assert rules_of(findings) == {"RPR003"}
+        assert "mixes dimensions" in findings[0].message
+
+    def test_scale_mismatch_flagged(self):
+        findings = lint("""
+            def total(latency_s: float, timeout_ms: float) -> float:
+                return latency_s - timeout_ms
+            """)
+        assert rules_of(findings) == {"RPR003"}
+        assert "scales" in findings[0].message
+
+    def test_comparison_mismatch_flagged(self):
+        findings = lint("""
+            def late(deadline_s: float, energy_j: float) -> bool:
+                return deadline_s > energy_j
+            """)
+        assert rules_of(findings) == {"RPR003"}
+
+    def test_keyword_mismatch_flagged(self):
+        findings = lint("""
+            def build(report, duration_ms):
+                return report(ad_joules=duration_ms)
+            """)
+        assert rules_of(findings) == {"RPR003"}
+        assert "keyword" in findings[0].message
+
+    def test_same_unit_arithmetic_allowed(self):
+        assert lint("""
+            def total(ad_joules: float, app_joules: float) -> float:
+                return ad_joules + app_joules
+            """) == []
+
+    def test_multiplication_combines_dimensions_allowed(self):
+        assert lint("""
+            def rate(energy_j: float, window_s: float) -> float:
+                return energy_j / window_s
+            """) == []
+
+    def test_count_prefix_exempt(self):
+        assert lint("""
+            def horizon(n_days: int, train_days: int) -> int:
+                return n_days - train_days
+            """) == []
+
+    def test_unit_named_function_literal_return_flagged(self):
+        findings = lint("""
+            def tail_energy_j() -> float:
+                return 12.5
+            """)
+        assert rules_of(findings) == {"RPR003"}
+        assert "bare literal" in findings[0].message
+
+    def test_unit_named_function_zero_default_allowed(self):
+        assert lint("""
+            def tail_energy_j(samples) -> float:
+                if not samples:
+                    return 0.0
+                return sum(samples)
+            """) == []
+
+    def test_unit_of_helper(self):
+        assert unit_of("ad_joules") == ("joules", "energy", 1.0)
+        assert unit_of("epoch_s") == ("s", "time", 1.0)
+        assert unit_of("n_days") is None
+        assert unit_of("plain") is None
+
+
+# ---------------------------------------------------------------------
+# RPR004 — merge associativity
+# ---------------------------------------------------------------------
+
+METRICS_PATH = "src/repro/metrics/accumulators.py"
+
+
+class TestMerges:
+    def test_accumulator_without_merge_flagged(self):
+        findings = lint("""
+            class BrokenAccumulator:
+                total: float = 0.0
+            """, path=METRICS_PATH)
+        assert rules_of(findings) == {"RPR004"}
+        assert "no merge()" in findings[0].message
+
+    def test_mutating_merge_flagged(self):
+        findings = lint("""
+            class SneakyAccumulator:
+                def __init__(self):
+                    self.total = 0.0
+
+                def merge(self, other):
+                    self.total += other.total
+            """, path=METRICS_PATH)
+        assert rules_of(findings) == {"RPR004"}
+        assert "never returns" in findings[0].message
+
+    def test_pure_merge_allowed(self):
+        assert lint("""
+            class GoodAccumulator:
+                def __init__(self, total: float = 0.0):
+                    self.total = total
+
+                def merge(self, other):
+                    return GoodAccumulator(self.total + other.total)
+            """, path=METRICS_PATH) == []
+
+    def test_set_reduction_in_metrics_flagged(self):
+        findings = lint("""
+            def total(values):
+                return sum(set(values))
+            """, path=METRICS_PATH)
+        # RPR001 flags the hashseed hazard; RPR004 flags it again as a
+        # float-associativity hazard specific to metrics code.
+        assert rules_of(findings) == {"RPR001", "RPR004"}
+
+    def test_rule_scoped_to_metrics_package(self):
+        assert lint("""
+            class ElsewhereAccumulator:
+                total: float = 0.0
+            """, path="src/repro/client/cache.py") == []
+
+
+# ---------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repro-lint: disable=RPR001
+            """)
+        assert findings == []
+
+    def test_line_suppression_wrong_rule_keeps_finding(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repro-lint: disable=RPR002
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_multi_rule_suppression(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repro-lint: disable=RPR002,RPR001
+            """)
+        assert findings == []
+
+    def test_disable_all_on_line(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repro-lint: disable=all
+            """)
+        assert findings == []
+
+    def test_file_level_suppression(self):
+        findings = lint("""
+            # repro-lint: disable-file=RPR001
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """)
+        assert findings == []
+
+    def test_suppression_must_sit_on_the_finding_line(self):
+        findings = lint("""
+            import time
+
+            # repro-lint: disable=RPR001
+            def stamp() -> float:
+                return time.time()
+            """)
+        assert rules_of(findings) == {"RPR001"}
+
+
+# ---------------------------------------------------------------------
+# Context plumbing
+# ---------------------------------------------------------------------
+
+
+class TestContext:
+    def test_module_parts(self):
+        ctx = FileContext("x = 1\n", "src/repro/sim/rng.py")
+        assert ctx.module == "repro.sim.rng"
+        assert not ctx.is_test
+
+    def test_test_detection(self):
+        ctx = FileContext("x = 1\n", "tests/test_cli.py")
+        assert ctx.is_test
+
+    def test_alias_resolution(self):
+        ctx = FileContext("import numpy.random as npr\n",
+                          "src/repro/sim/a.py")
+        import ast
+        call = ast.parse("npr.default_rng()", mode="eval").body
+        assert ctx.dotted_name(call.func) == "numpy.random.default_rng"
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            analyze_source("def broken(:\n", "src/repro/x.py")
