@@ -14,7 +14,7 @@ from repro.experiments.e10_dispatch import run_e10
 
 def test_e10_dispatch_ablation(benchmark, config, record_table):
     ablation = run_once(benchmark, run_e10, config)
-    record_table("e10", ablation.render())
+    record_table("e10", ablation.render(), result=ablation, config=config)
 
     staggered = ablation.row_for("staggered")
     backfill = ablation.row_for("greedy-backfill")

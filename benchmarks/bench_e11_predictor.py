@@ -11,7 +11,7 @@ from repro.experiments.e11_predictor import run_e11
 
 def test_e11_predictor_ablation(benchmark, config, record_table):
     ablation = run_once(benchmark, run_e11, config)
-    record_table("e11", ablation.render())
+    record_table("e11", ablation.render(), result=ablation, config=config)
 
     oracle = ablation.row_for("oracle")
     ewma = ablation.row_for("ewma")

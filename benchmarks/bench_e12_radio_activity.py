@@ -13,7 +13,7 @@ def test_e12_radio_activity(benchmark, record_table):
     # Timelines are memory-hungry: use a reduced population.
     config = bench_config(n_users=60)
     figure = run_once(benchmark, run_e12, config)
-    record_table("e12", figure.render())
+    record_table("e12", figure.render(), result=figure, config=config)
 
     assert figure.wakeup_reduction > 0.15
     assert (figure.prefetch_wakeups_per_user_day

@@ -11,7 +11,7 @@ from repro.experiments.e1_app_energy import run_e1
 
 def test_e1_app_energy(benchmark, record_table):
     study = run_once(benchmark, run_e1)
-    record_table("e1", study.render())
+    record_table("e1", study.render(), result=study)
 
     assert len(study.rows) == 15
     # Shape: the two headline averages land near the paper's numbers.

@@ -11,7 +11,7 @@ from repro.experiments.e2_tail_energy import run_e2
 
 def test_e2_tail_energy(benchmark, record_table):
     figure = run_once(benchmark, run_e2)
-    record_table("e2", figure.render())
+    record_table("e2", figure.render(), result=figure)
 
     for radio in ("3g", "lte"):
         values = [v for _, v in figure.series[radio]]

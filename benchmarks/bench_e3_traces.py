@@ -11,7 +11,7 @@ from repro.experiments.e3_traces import run_e3
 
 def test_e3_trace_characterization(benchmark, config, record_table):
     figure = run_once(benchmark, run_e3, config)
-    record_table("e3", figure.render())
+    record_table("e3", figure.render(), result=figure, config=config)
 
     summary = figure.summary
     assert summary.n_users == config.n_users

@@ -11,7 +11,7 @@ from repro.experiments.e4_prediction import run_e4
 
 def test_e4_prediction_accuracy(benchmark, config, record_table):
     figure = run_once(benchmark, run_e4, config)
-    record_table("e4", figure.render())
+    record_table("e4", figure.render(), result=figure, config=config)
 
     oracle = figure.summary_for("oracle")
     assert oracle.mae == 0.0 and oracle.rmse == 0.0

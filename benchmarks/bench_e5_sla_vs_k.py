@@ -12,7 +12,7 @@ from repro.experiments.e5_e6_overbooking import run_e5_e6
 
 def test_e5_sla_vs_replication(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e5_e6, config)
-    record_table("e5", sweep.render())
+    record_table("e5", sweep.render(), result=sweep, config=config)
 
     violations = [p.sla_violation_rate for p in sweep.points]
     # No replication misses deadlines wholesale; a little replication

@@ -12,7 +12,7 @@ from repro.experiments.e5_e6_overbooking import run_e5_e6
 
 def test_e6_revenue_vs_replication(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e5_e6, config)
-    record_table("e6", sweep.render())
+    record_table("e6", sweep.render(), result=sweep, config=config)
 
     duplicates = [p.duplicates_per_sale for p in sweep.points]
     # Duplicates grow with fixed-k replication...

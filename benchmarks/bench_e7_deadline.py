@@ -12,7 +12,7 @@ from repro.experiments.e7_deadline import run_e7
 
 def test_e7_deadline_sweep(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e7, config)
-    record_table("e7", sweep.render())
+    record_table("e7", sweep.render(), result=sweep, config=config)
 
     static = sweep.series("static")
     full = sweep.series("full")

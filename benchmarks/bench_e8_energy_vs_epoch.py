@@ -12,7 +12,7 @@ from repro.experiments.e8_energy_vs_epoch import run_e8
 
 def test_e8_energy_vs_epoch(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e8, config)
-    record_table("e8", sweep.render())
+    record_table("e8", sweep.render(), result=sweep, config=config)
 
     points = sweep.points
     assert [p.epoch_h for p in points] == [0.5, 1.0, 2.0, 3.0]

@@ -12,7 +12,7 @@ from repro.experiments.e9_headline import run_e9
 def test_e9_headline(benchmark, record_table):
     config = bench_config()
     table = run_once(benchmark, run_e9, config)
-    record_table("e9", table.render())
+    record_table("e9", table.render(), result=table, config=config)
 
     system = table.row_for("overbooking")
     # THE claim: >50% ad-energy reduction, negligible loss & violations.

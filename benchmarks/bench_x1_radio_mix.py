@@ -14,7 +14,7 @@ from repro.experiments.x1_radio_mix import run_x1
 def test_x1_radio_mix(benchmark, record_table):
     config = bench_config(n_users=80)
     study = run_once(benchmark, run_x1, config)
-    record_table("x1", study.render())
+    record_table("x1", study.render(), result=study, config=config)
 
     g3 = study.row_for("3g")
     lte = study.row_for("lte")

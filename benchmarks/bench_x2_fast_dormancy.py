@@ -13,7 +13,7 @@ from repro.experiments.x2_fast_dormancy import run_x2
 def test_x2_fast_dormancy(benchmark, record_table):
     config = bench_config(n_users=80)
     study = run_once(benchmark, run_x2, config)
-    record_table("x2", study.render())
+    record_table("x2", study.render(), result=study, config=config)
 
     rt_3g = study.cell("realtime", "3g")
     rt_fd = study.cell("realtime", "3g-fd")

@@ -40,15 +40,21 @@ def test_x3_parallel_scaling(benchmark, record_table):
     serial = results[0]
 
     rows = []
+    points = []
     for result in results:
         speedup = serial.elapsed_s / result.elapsed_s
         rows.append((f"{result.parallelism}", f"{result.n_shards}",
                      f"{result.elapsed_s:.1f}s", f"{speedup:.2f}x"))
+        points.append({"workers": result.parallelism,
+                       "shards": result.n_shards,
+                       "elapsed_s": result.elapsed_s,
+                       "speedup": speedup})
     record_table("x3", format_table(
         ["workers", "shards", "wall clock", "speedup"],
         rows,
         title=f"X3: shard-parallel scaling ({config.n_users} users, "
-              f"{os.cpu_count()} CPUs)"))
+              f"{os.cpu_count()} CPUs)"),
+        result=points, config=config)
 
     # The contract: worker count never changes the numbers.
     for result in results[1:]:

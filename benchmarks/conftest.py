@@ -10,17 +10,28 @@ environment-overridable:
 
 Rendered tables are printed (visible with ``-s``) and written to
 ``benchmarks/results/`` so a plain ``pytest benchmarks/`` run leaves the
-reproduced artifacts on disk.
+reproduced artifacts on disk. Each benchmark also writes a
+machine-readable ``results/<id>.json`` holding the result rows, the
+pytest-benchmark timing stats, and a run manifest (config hash, seed,
+RNG stream-manifest hash — see :mod:`repro.obs.manifest`).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    streams_manifest_hash,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,13 +52,86 @@ def config() -> ExperimentConfig:
     return bench_config()
 
 
-@pytest.fixture(scope="session")
-def record_table():
+def _jsonable(value):
+    """Best-effort plain-JSON conversion for result rows."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _rows_of(result):
+    if result is None:
+        return []
+    rows = getattr(result, "rows", None)
+    if rows is not None:
+        return list(rows)
+    if isinstance(result, (list, tuple)):
+        return list(result)
+    return [result]
+
+
+def _stats_of(benchmark) -> dict[str, float]:
+    """The pytest-benchmark timing stats, as plain numbers."""
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", meta)
+    out: dict[str, float] = {}
+    for field in ("min", "max", "mean", "stddev", "median", "rounds",
+                  "total"):
+        value = getattr(stats, field, None)
+        if isinstance(value, (int, float)):
+            out[field] = value
+    return out
+
+
+def _manifest_of(experiment_id: str, config: ExperimentConfig | None,
+                 elapsed_s: float) -> dict[str, object]:
+    if config is None:
+        # Config-free artifacts (static app-model tables) still pin the
+        # stream manifest so drift is visible in the recorded results.
+        return {"schema_version": MANIFEST_SCHEMA_VERSION,
+                "system": experiment_id,
+                "rng_stream_manifest_hash": streams_manifest_hash()}
+    return build_manifest(config, system=experiment_id, n_shards=1,
+                          parallelism=1, trace_enabled=False,
+                          elapsed_s=elapsed_s).to_jsonable()
+
+
+@pytest.fixture
+def record_table(benchmark):
+    """Record one benchmark's artifacts under ``benchmarks/results/``.
+
+    ``_record`` writes the rendered table as ``<id>.txt`` (and echoes it
+    for ``-s`` runs) plus a machine-readable ``<id>.json`` combining the
+    result rows, the pytest-benchmark stats, and the run manifest.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _record(experiment_id: str, text: str) -> None:
+    def _record(experiment_id: str, text: str, *, result=None,
+                config: ExperimentConfig | None = None) -> None:
         print(f"\n{text}\n")
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        stats = _stats_of(benchmark)
+        payload = {
+            "experiment": experiment_id,
+            "rows": _jsonable(_rows_of(result)),
+            "benchmark": stats,
+            "manifest": _manifest_of(experiment_id, config,
+                                     stats.get("total", 0.0)),
+        }
+        (RESULTS_DIR / f"{experiment_id}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _record
 

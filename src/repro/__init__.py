@@ -15,6 +15,8 @@ The package implements the full stack the paper evaluates on:
 * :mod:`repro.baselines`, :mod:`repro.metrics`,
   :mod:`repro.experiments` — comparisons, reporting, and one runner per
   table/figure.
+* :mod:`repro.obs` — observability: mergeable metrics, sim-time
+  tracing, wall-clock profiling, run manifests.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -35,6 +37,7 @@ from repro.experiments.harness import (  # noqa: E402
     run_prefetch,
     run_realtime,
 )
+from repro.obs.runtime import ObsOptions  # noqa: E402
 from repro.runner import (  # noqa: E402
     Runner,
     RunResult,
@@ -47,6 +50,7 @@ __all__ = [
     "ExperimentConfig",
     "PAPER_SCALE",
     "BENCH_SCALE",
+    "ObsOptions",
     "Runner",
     "RunResult",
     "WorldCache",

@@ -13,6 +13,13 @@ Flags ambient-nondeterminism sources anywhere in the tree:
   arguments) without a ``sorted(...)`` wrapper — set order depends on
   PYTHONHASHSEED, so it differs between the Runner's worker processes.
 
+Inside :mod:`repro.obs` the rule is stricter: **any** clock read —
+including the monotonic allowlist — is flagged outside
+``repro/obs/profile.py``. Observability code runs interleaved with the
+simulation, so traces and metrics must be pure functions of simulated
+time; only the profiling module measures wall-clock cost, which keeps
+the "where may real time leak in?" audit surface to one file.
+
 Constructor-shaped RNG calls (``default_rng``, ``Generator``,
 ``random.Random``) are RPR002's jurisdiction and skipped here.
 """
@@ -48,8 +55,19 @@ class DeterminismRule(Rule):
     # -- ambient state calls --------------------------------------------
 
     def _check_calls(self, ctx: FileContext) -> Iterator[Finding]:
+        obs_clock_free = (ctx.module_parts[:2] == ("repro", "obs")
+                          and ctx.module_parts[:3] != ("repro", "obs",
+                                                       "profile"))
         for node, name in iter_calls(ctx):
-            if name in RNG_CONSTRUCTOR_CALLS or name in ALLOWED_CLOCK_CALLS:
+            if name in RNG_CONSTRUCTOR_CALLS:
+                continue
+            if name in ALLOWED_CLOCK_CALLS:
+                if obs_clock_free:
+                    yield make_finding(
+                        self.id, ctx, node,
+                        f"clock read {name}() inside repro.obs; wall-clock "
+                        "measurement belongs in repro/obs/profile.py — "
+                        "traces and metrics must carry simulated time only")
                 continue
             if name in WALL_CLOCK_CALLS:
                 yield make_finding(

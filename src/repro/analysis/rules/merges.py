@@ -1,18 +1,22 @@
 """RPR004 — merge associativity for sharded-metric accumulators.
 
 The Runner folds shard results through the accumulators in
-:mod:`repro.metrics.accumulators`; parallelism-invariance holds only if
-every accumulator exposes an associative ``merge``. This rule enforces
-the structural half of that contract:
+:mod:`repro.metrics.accumulators` and the observability snapshots in
+:mod:`repro.obs`; parallelism-invariance holds only if every mergeable
+value exposes an associative ``merge``. This rule enforces the
+structural half of that contract over both trees
+(``repro/metrics/`` and ``repro/obs/``):
 
-* every ``*Accumulator`` class under ``repro/metrics/`` must define a
-  ``merge`` method, and that method must return a value (an in-place
-  mutating merge is a latent aliasing bug across shard boundaries);
-* inside ``repro/metrics/``, float reductions (``sum``, ``fsum``,
-  ``reduce``) over bare ``set`` expressions are flagged — float addition
-  is not associative under reordering, and set order is
-  PYTHONHASHSEED-dependent (the general case is RPR001; it is repeated
-  here for metrics code because there it changes published numbers).
+* every ``*Accumulator`` class must define a ``merge`` method;
+* **any** class defining a ``merge`` method (accumulator-named or not —
+  snapshots, profiles) must have that method return a value: an
+  in-place mutating merge is a latent aliasing bug across shard
+  boundaries;
+* float reductions (``sum``, ``fsum``, ``reduce``) over bare ``set``
+  expressions are flagged — float addition is not associative under
+  reordering, and set order is PYTHONHASHSEED-dependent (the general
+  case is RPR001; it is repeated here because in mergeable-value code
+  it changes published numbers).
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from ..context import FileContext
 from ..findings import Finding
 from .common import Rule, is_set_expr, iter_calls, make_finding
 
-_METRICS_PREFIX = ("repro", "metrics")
+#: Module trees holding mergeable shard-fold values.
+_MERGEABLE_PREFIXES = (("repro", "metrics"), ("repro", "obs"))
 _REDUCERS = frozenset({"sum", "fsum", "math.fsum", "reduce",
                        "functools.reduce"})
 
@@ -47,26 +52,26 @@ class MergeRule(Rule):
     title = "merge associativity"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if ctx.module_parts[:2] != _METRICS_PREFIX:
+        if ctx.module_parts[:2] not in _MERGEABLE_PREFIXES:
             return
-        yield from self._check_accumulator_classes(ctx)
+        yield from self._check_mergeable_classes(ctx)
         yield from self._check_reductions(ctx)
 
-    def _check_accumulator_classes(self,
-                                   ctx: FileContext) -> Iterator[Finding]:
+    def _check_mergeable_classes(self,
+                                 ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            if not (isinstance(node, ast.ClassDef)
-                    and node.name.endswith("Accumulator")):
+            if not isinstance(node, ast.ClassDef):
                 continue
             merge = next(
                 (item for item in node.body
                  if isinstance(item, ast.FunctionDef)
                  and item.name == "merge"), None)
             if merge is None:
-                yield make_finding(
-                    self.id, ctx, node,
-                    f"accumulator class '{node.name}' has no merge() "
-                    "method; sharded runs cannot fold its results")
+                if node.name.endswith("Accumulator"):
+                    yield make_finding(
+                        self.id, ctx, node,
+                        f"accumulator class '{node.name}' has no merge() "
+                        "method; sharded runs cannot fold its results")
             elif not _returns_value(merge):
                 yield make_finding(
                     self.id, ctx, merge,

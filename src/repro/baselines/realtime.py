@@ -16,6 +16,7 @@ from repro.client.timeline import (KIND_APP, KIND_APP_STREAM, KIND_SLOT,
 from repro.exchange.marketplace import Exchange
 from repro.metrics.energy import aggregate_devices
 from repro.metrics.outcomes import RealtimeOutcome
+from repro.obs.runtime import current_obs
 from repro.radio.profiles import RadioProfile
 from repro.traces.schema import SECONDS_PER_DAY
 from repro.workloads.appstore import AppProfile
@@ -34,6 +35,10 @@ def run_realtime(timelines: dict[str, ClientTimeline],
     if end <= start:
         raise ValueError("empty simulation window")
     apps = list(apps)
+    obs = current_obs()
+    impressions_counter = obs.metrics.counter("realtime.impressions")
+    unfilled_counter = obs.metrics.counter("realtime.unfilled_slots")
+    wakeups_counter = obs.metrics.counter("realtime.radio.wakeups")
     impressions = 0
     unfilled = 0
     devices: list[Device] = []
@@ -59,6 +64,9 @@ def run_realtime(timelines: dict[str, ClientTimeline],
             elif kind == KIND_APP_STREAM:
                 device.app_streaming(float(t), float(p))
         device.finish(end)
+        wakeups_counter.inc(device.wakeups)
+    impressions_counter.inc(impressions)
+    unfilled_counter.inc(unfilled)
     days = (end - start) / SECONDS_PER_DAY
     return RealtimeOutcome(
         energy=aggregate_devices(devices, days),

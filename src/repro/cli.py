@@ -8,10 +8,18 @@
     adprefetch headline --users 200       # just the abstract's claim
     adprefetch report out.md --users 150  # full markdown report
     adprefetch trace out.jsonl --users 50 # dump a synthetic trace
+    adprefetch obs summarize runs/        # render run artifacts
+    adprefetch obs validate runs/run-000-headline/trace.jsonl
 
 ``run``, ``headline``, and ``report`` accept ``--jobs N`` to execute
 user shards across N worker processes (see :class:`repro.runner.Runner`;
-results are bit-for-bit identical at any ``--jobs``).
+results are bit-for-bit identical at any ``--jobs``). They also accept
+the observability flags: ``--metrics-out DIR`` writes one
+``run-NNN-<system>`` artifact directory per run (manifest, merged
+metrics, wall-clock profile), and ``--trace`` additionally records the
+sim-time trace (JSONL plus a Chrome ``trace_event`` export loadable in
+Perfetto; implies ``--metrics-out`` defaulting to ``./obs-runs``).
+``--verbose`` turns on the shared :mod:`repro.obs.log` diagnostics.
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -19,8 +27,10 @@ results are bit-for-bit identical at any ``--jobs``).
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import experiment_ids, run_experiment
@@ -44,6 +54,43 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
                              "(results identical at any value)")
 
 
+#: Default artifact directory when ``--trace`` is given bare.
+DEFAULT_OBS_DIR = "obs-runs"
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record the sim-time trace (JSONL + Chrome "
+                             "trace_event export; results stay "
+                             "bit-identical)")
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="write run artifacts (manifest, metrics, "
+                             "profile) under DIR")
+    parser.add_argument("--verbose", action="store_true",
+                        help="enable repro.obs.log diagnostics on stderr")
+
+
+def _install_obs_options(args: argparse.Namespace) -> None:
+    """Translate CLI observability flags into the process default.
+
+    ``Runner`` instances created anywhere downstream (experiment
+    registry, report writer) pick these options up via
+    :func:`repro.obs.runtime.default_obs_options`.
+    """
+    from repro.obs import log
+    from repro.obs.runtime import ObsOptions, set_default_obs_options
+
+    if getattr(args, "verbose", False):
+        log.enable(logging.DEBUG)
+    trace = bool(getattr(args, "trace", False))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None and trace:
+        metrics_out = DEFAULT_OBS_DIR
+    if metrics_out is not None:
+        set_default_obs_options(ObsOptions(out_dir=Path(metrics_out),
+                                           trace=trace))
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         n_users=args.users,
@@ -63,6 +110,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _install_obs_options(args)
     config = _config_from(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
@@ -77,6 +125,7 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     from repro.metrics.summary import fmt_pct
     from repro.runner import Runner
 
+    _install_obs_options(args)
     result = Runner(_config_from(args), parallelism=args.jobs).run("headline")
     comparison = result.comparison
     print("Paper claim: >50% ad-energy reduction, negligible revenue "
@@ -87,16 +136,38 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     print(f"  wakeup reduction   {fmt_pct(comparison.wakeup_reduction, 1)}")
     print(f"  [{result.n_shards} shard(s) x {result.parallelism} worker(s), "
           f"{result.elapsed_s:.1f}s]")
+    if result.artifacts_dir is not None:
+        print(f"  [run artifacts: {result.artifacts_dir}]")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
+    _install_obs_options(args)
     ids = args.only.split(",") if args.only else None
     path = write_report(args.path, _config_from(args), ids=ids,
                         jobs=args.jobs)
     print(f"report written to {path}")
+    return 0
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import summarize
+
+    print(summarize(args.dir))
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs.trace import validate_jsonl
+
+    problems = validate_jsonl(args.path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid repro.obs trace")
     return 0
 
 
@@ -126,11 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=experiment_ids() + ["all"])
     _add_world_args(p_run)
     _add_jobs_arg(p_run)
+    _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_head = sub.add_parser("headline", help="reproduce the abstract claim")
     _add_world_args(p_head)
     _add_jobs_arg(p_head)
+    _add_obs_args(p_head)
     p_head.set_defaults(func=_cmd_headline)
 
     p_report = sub.add_parser("report",
@@ -140,12 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated experiment ids")
     _add_world_args(p_report)
     _add_jobs_arg(p_report)
+    _add_obs_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_trace = sub.add_parser("trace", help="generate a synthetic trace file")
     p_trace.add_argument("path")
     _add_world_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_obs = sub.add_parser("obs", help="inspect observability artifacts")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_sum = obs_sub.add_parser("summarize",
+                               help="render run directories as tables")
+    p_sum.add_argument("dir", help="artifact root (or one run directory)")
+    p_sum.set_defaults(func=_cmd_obs_summarize)
+    p_val = obs_sub.add_parser("validate",
+                               help="validate a JSONL trace against the "
+                                    "repro.obs.trace schema")
+    p_val.add_argument("path")
+    p_val.set_defaults(func=_cmd_obs_validate)
 
     return parser
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs.runtime import current_obs
 from repro.workloads.appstore import AppProfile
 
 from .cache import AdQueue
@@ -57,6 +58,14 @@ class AdClient:
         self.report_delay_s = report_delay_s
         self.report_bytes = report_bytes
         self._pending_reports: list[tuple[int, float]] = []
+        obs = current_obs()
+        self._recorder = obs.recorder
+        self._sync_counter = obs.metrics.counter("client.syncs")
+        self._beacon_counter = obs.metrics.counter("client.beacons")
+        self._sync_bytes = obs.metrics.histogram("client.sync.bytes")
+        self._display_counters = {
+            outcome: obs.metrics.counter(f"client.displays.{outcome}")
+            for outcome in ("cached", "rescued", "fallback", "house")}
 
     @property
     def user_id(self) -> str:
@@ -103,6 +112,13 @@ class AdClient:
         self.queue.install(response.assignments)
         self.device.ad_fetch(now, response.nbytes)
         self.stats.syncs += 1
+        self._sync_counter.inc()
+        self._sync_bytes.observe(response.nbytes)
+        if self._recorder.enabled:
+            self._recorder.instant(
+                now, "client", "sync",
+                args={"user": self.user_id, "n_bytes": response.nbytes,
+                      "n_ads": len(response.assignments)})
 
     def _serve_slot(self, now: float, app_index: int, server) -> None:
         """Fill one ad slot: cache first, fallback second."""
@@ -111,6 +127,7 @@ class AdClient:
             server.record_display(sale.sale_id, self.user_id, now)
             self._pending_reports.append((sale.sale_id, now))
             self.stats.cached_displays += 1
+            self._display_counters["cached"].inc()
             return
         # Dry cache: first try to rescue sold-but-unshown ads — this
         # client is demonstrably consuming slots right now.
@@ -129,6 +146,7 @@ class AdClient:
                 # the original replicas are invalidated immediately.
                 self._flush_reports(now, server)
                 self.stats.rescued_displays += 1
+                self._display_counters["rescued"].inc()
                 return
         app = self.apps[app_index]
         fallback = server.realtime_fill(now, category=app.category,
@@ -137,8 +155,10 @@ class AdClient:
             self.device.ad_fetch(now, fallback.creative_bytes)
             self._flush_reports(now, server)  # piggyback on the fetch
             self.stats.fallback_displays += 1
+            self._display_counters["fallback"].inc()
         else:
             self.stats.house_displays += 1
+            self._display_counters["house"].inc()
 
     def _flush_reports(self, now: float, server) -> None:
         """Hand pending impression reports to the server (free: the
@@ -164,6 +184,11 @@ class AdClient:
             beacon_at = max(due, now)
             self.device.ad_fetch(beacon_at, self.report_bytes)
             self._flush_reports(beacon_at, server)
+            self._beacon_counter.inc()
+            if self._recorder.enabled:
+                self._recorder.instant(beacon_at, "client", "beacon",
+                                       args={"user": self.user_id,
+                                             "kind": "timer"})
 
     def _maybe_beacon(self, now: float, server) -> None:
         """Flush reports with a dedicated beacon once they grow stale.
@@ -179,3 +204,8 @@ class AdClient:
         if now - oldest >= self.report_delay_s:
             self.device.ad_fetch(now, self.report_bytes)
             self._flush_reports(now, server)
+            self._beacon_counter.inc()
+            if self._recorder.enabled:
+                self._recorder.instant(now, "client", "beacon",
+                                       args={"user": self.user_id,
+                                             "kind": "stale"})

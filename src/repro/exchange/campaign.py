@@ -9,15 +9,12 @@ budgets (so demand is finite and campaigns churn).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 #: Targeting wildcard: campaign bids on every category/platform.
 ANY = "*"
-
-_campaign_counter = itertools.count()
 
 
 @dataclass(slots=True)
@@ -127,8 +124,12 @@ def build_campaigns(config: CampaignPoolConfig,
                     rng: np.random.Generator) -> list[Campaign]:
     """Sample a campaign population with lognormal bids and budgets."""
     campaigns = []
-    for _ in range(config.n_campaigns):
-        idx = next(_campaign_counter)
+    # Ids are numbered locally per build: a campaign pool must be a pure
+    # function of (config, rng) so shard-local pools are identical no
+    # matter how many pools this process built before (a process-global
+    # counter would leak build history into ids and break the
+    # parallelism-invariance of anything that records them).
+    for idx in range(config.n_campaigns):
         bid = float(rng.lognormal(np.log(config.median_bid), config.bid_sigma))
         budget = float(rng.lognormal(np.log(config.budget_median),
                                      config.budget_sigma))

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.runtime import current_obs
+
 from .auction import AuctionConfig, AuctionOutcome, run_auction, run_bulk_auctions
 from .campaign import ANY, Campaign
 
@@ -52,14 +54,21 @@ class Exchange:
         Mechanics shared by all auctions.
     rng:
         Dedicated random stream (bid jitter, bidder sampling).
+    component:
+        Instrument/trace namespace for this marketplace instance.
+        Headline runs hold two exchanges per shard (prefetch and the
+        real-time baseline); distinct components keep their auction
+        counters separable in the merged snapshot.
     """
 
     def __init__(self, campaigns: list[Campaign],
                  auction_config: AuctionConfig,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator,
+                 component: str = "exchange") -> None:
         self.campaigns = list(campaigns)
         self.auction_config = auction_config
         self.rng = rng
+        self.component = component
         self._by_id = {c.campaign_id: c for c in self.campaigns}
         if len(self._by_id) != len(self.campaigns):
             raise ValueError("duplicate campaign ids")
@@ -70,6 +79,13 @@ class Exchange:
         self.voided_revenue = 0.0        # sold but never shown (SLA misses)
         self.sales_count = 0
         self.unsold_count = 0
+        obs = current_obs()
+        self._recorder = obs.recorder
+        self._auction_counter = obs.metrics.counter(
+            f"{component}.auctions.held")
+        self._sold_counter = obs.metrics.counter(f"{component}.auctions.sold")
+        self._price_hist = obs.metrics.histogram(
+            f"{component}.clearing_price")
 
     # ------------------------------------------------------------------
     # Demand-side views
@@ -99,12 +115,17 @@ class Exchange:
         """
         outcome = run_auction(self.eligible(category, platform),
                               self.auction_config, self.rng)
+        self._auction_counter.inc()
         if not outcome.sold:
             self.unsold_count += 1
             return None
         sale = self._record(outcome, now, deadline=float("inf"))
         outcome.winner.charge(outcome.price)
         self.billed_revenue += outcome.price
+        if self._recorder.enabled:
+            self._recorder.instant(
+                now, self.component, "auction.now",
+                args={"sale": sale.sale_id, "campaign": sale.campaign_id})
         return sale
 
     def sell_ahead(self, now: float, count: int, deadline: float,
@@ -124,6 +145,7 @@ class Exchange:
                     if c.active and (c.platform in (ANY, platform))]
         outcomes = run_bulk_auctions(eligible, count,
                                      self.auction_config, self.rng)
+        self._auction_counter.inc(len(outcomes))
         sales = []
         for outcome in outcomes:
             if not outcome.sold:
@@ -132,6 +154,10 @@ class Exchange:
             # Commit the budget now; billing waits for delivery.
             outcome.winner.charge(outcome.price)
             sales.append(self._record(outcome, now, deadline))
+        if self._recorder.enabled:
+            self._recorder.instant(
+                now, self.component, "auction.ahead",
+                args={"n_offered": count, "n_sold": len(sales)})
         return sales
 
     def _record(self, outcome: AuctionOutcome, now: float,
@@ -146,6 +172,8 @@ class Exchange:
         )
         self.booked_revenue += outcome.price
         self.sales_count += 1
+        self._sold_counter.inc()
+        self._price_hist.observe(outcome.price)
         return sale
 
     # ------------------------------------------------------------------

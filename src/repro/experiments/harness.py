@@ -44,6 +44,7 @@ from repro.metrics.outcomes import (
     RealtimeOutcome,
     compare,
 )
+from repro.obs.runtime import current_obs
 from repro.prediction.base import epochs_per_day, make_predictor
 from repro.prediction.models import OraclePredictor
 from repro.radio.profiles import RadioProfile, get_profile
@@ -144,17 +145,20 @@ def clear_world_cache() -> None:
 
 
 def _build_exchange(config: ExperimentConfig, registry: RngRegistry,
-                    stream: str, rng_tag: str = "") -> Exchange:
+                    stream: str, rng_tag: str = "",
+                    component: str = "exchange") -> Exchange:
     """Build a marketplace on tagged RNG streams.
 
     ``rng_tag`` namespaces the campaign and auction streams per shard so
     shard-local exchanges are mutually independent yet deterministic in
     the shard layout alone (never in worker count or scheduling).
+    ``component`` namespaces the marketplace's observability instruments
+    (headline runs hold a prefetch and a real-time exchange per shard).
     """
     campaigns = build_campaigns(config.campaign_config(),
                                 registry.fresh("campaigns" + rng_tag))
     return Exchange(campaigns, config.auction_config(),
-                    registry.fresh(stream + rng_tag))
+                    registry.fresh(stream + rng_tag), component=component)
 
 
 def run_prefetch_shard(config: ExperimentConfig,
@@ -201,9 +205,14 @@ def run_prefetch_shard(config: ExperimentConfig,
         for uid in timelines
     }
 
+    obs = current_obs()
+    obs_recorder = obs.recorder
     for epoch in range(first_test, n_epochs):
         now = epoch * config.epoch_s
         window_end = min(now + config.epoch_s, horizon)
+        if obs_recorder.enabled:
+            obs_recorder.complete(now, window_end - now, "server", "epoch",
+                                  args={"epoch": epoch})
         server.plan_epoch(epoch, now)
         # Clients sync at their first slot; process in sync-time order so
         # cross-client report visibility is chronological.
@@ -228,8 +237,10 @@ def run_prefetch_shard(config: ExperimentConfig,
         server.observe_epoch(epoch, {uid: int(counts[uid][epoch])
                                      for uid in counts})
 
+    wakeups_counter = obs.metrics.counter("radio.wakeups")
     for device in devices.values():
         device.finish(horizon)
+        wakeups_counter.inc(device.wakeups)
     _outcomes, sla, revenue = server.finalize()
 
     cached = sum(c.stats.cached_displays for c in clients.values())
@@ -262,7 +273,7 @@ def run_realtime_shard(config: ExperimentConfig,
     """Run the status-quo baseline over one user subset (a shard)."""
     registry = RngRegistry(config.seed)
     exchange = _build_exchange(config, registry, "exchange-realtime",
-                               rng_tag)
+                               rng_tag, component="realtime.exchange")
     per_day = epochs_per_day(config.epoch_s)
     start = config.train_days * per_day * config.epoch_s
     return _run_realtime_engine(dict(timelines), apps, dict(profile_of),

@@ -1,0 +1,109 @@
+"""Observability for the reproduction stack (``repro.obs``).
+
+Three pillars, all designed around the determinism contract:
+
+* **Mergeable metrics** (:mod:`repro.obs.metrics`) — counters, gauges
+  and fixed log-scale histograms whose snapshots merge associatively,
+  so per-shard measurements fold into identical per-run totals at any
+  parallelism (the RPR004 contract).
+* **Sim-time tracing** (:mod:`repro.obs.trace`) — spans and instants
+  stamped with *simulated* time, recorded per component and exportable
+  as JSONL or Chrome ``trace_event`` JSON (loadable in Perfetto). The
+  default :class:`NullRecorder` is a zero-overhead no-op.
+* **Wall-clock profiling** (:mod:`repro.obs.profile`) — the only
+  module allowed to read a clock (``perf_counter``); measures where
+  real time goes (world build, shard execute, merge) without touching
+  simulated quantities.
+
+:mod:`repro.obs.manifest` records run provenance, and
+:mod:`repro.obs.log` replaces ad-hoc prints with a silenceable shared
+logger. See DESIGN.md §8 for the naming scheme and merge contract.
+"""
+
+from . import log
+from .manifest import (
+    MANIFEST_FILENAME,
+    RunManifest,
+    build_manifest,
+    config_digest,
+    streams_manifest_hash,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    validate_instrument_name,
+)
+from .profile import PhaseProfiler, PhaseStats, RunProfile
+from .runtime import (
+    Obs,
+    ObsOptions,
+    activate,
+    counter,
+    current_obs,
+    default_obs_options,
+    gauge,
+    histogram,
+    next_run_dir,
+    recorder,
+    set_default_obs_options,
+)
+from .summarize import find_run_dirs, load_run, summarize
+from .trace import (
+    NULL_RECORDER,
+    MemoryRecorder,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+    to_chrome,
+    validate_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MemoryRecorder",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRecorder",
+    "Obs",
+    "ObsOptions",
+    "PhaseProfiler",
+    "PhaseStats",
+    "RunManifest",
+    "RunProfile",
+    "TraceEvent",
+    "TraceRecorder",
+    "activate",
+    "build_manifest",
+    "config_digest",
+    "counter",
+    "current_obs",
+    "default_obs_options",
+    "find_run_dirs",
+    "gauge",
+    "histogram",
+    "load_run",
+    "log",
+    "next_run_dir",
+    "read_jsonl",
+    "recorder",
+    "set_default_obs_options",
+    "streams_manifest_hash",
+    "summarize",
+    "to_chrome",
+    "validate_instrument_name",
+    "validate_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,72 @@
+"""Uniform, silenceable diagnostics for the whole stack.
+
+Ad-hoc ``print`` calls (and per-module ``logging`` setups) are
+deprecated in favour of this helper: every component asks for a logger
+under the shared ``repro`` hierarchy, which carries a ``NullHandler``
+by default — **silent unless the user opts in** with :func:`enable`
+(the CLI's ``--verbose`` flag). Diagnostic *content* must still be
+deterministic-friendly: log simulated times and counts, never wall
+clock timestamps, so enabling verbosity cannot change results and the
+output is comparable across runs.
+
+Example
+-------
+>>> from repro.obs import log
+>>> logger = log.get_logger("traces.generator")
+>>> logger.debug("dropped %d sessions at the horizon", 3)
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Root of the shared logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+# Silence by default: without a handler the logging module warns on
+# first use; the NullHandler keeps the tree quiet until enable().
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_HANDLER: logging.Handler | None = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the shared ``repro`` hierarchy.
+
+    ``name`` may be a bare component path (``"traces.generator"``) or
+    already rooted (``"repro.traces.generator"``).
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable(level: int = logging.INFO, stream: IO[str] | None = None) -> None:
+    """Turn diagnostics on (idempotent): attach one stderr handler.
+
+    The format deliberately omits wall-clock timestamps — diagnostic
+    lines stay comparable between runs of the same config.
+    """
+    global _HANDLER
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    _HANDLER = handler
+
+
+def disable() -> None:
+    """Silence diagnostics again (back to the NullHandler default)."""
+    global _HANDLER
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+        _HANDLER = None
+    root.setLevel(logging.WARNING)

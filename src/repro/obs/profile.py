@@ -1,0 +1,132 @@
+"""Wall-clock phase profiling for the run harness.
+
+This is the **only** observability module allowed to read a clock, and
+it reads only the monotonic ``time.perf_counter`` (repro-lint's RPR001
+allowlist; the rule additionally pins all of ``repro.obs`` outside this
+module to zero clock reads). Profiles measure where real time goes —
+world build, shard execution, merging — and never feed back into
+simulated quantities, so they are free to vary run to run while the
+simulation output stays bit-for-bit stable.
+
+:class:`PhaseStats` values are mergeable (associative ``merge``), so
+per-shard wall-clock measurements fold into a per-run profile exactly
+like metric snapshots do.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStats:
+    """Aggregated wall-clock cost of one named phase."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_duration(cls, seconds: float) -> "PhaseStats":
+        """Lift one measured duration into a stats value."""
+        s = float(seconds)
+        return cls(calls=1, total_s=s, min_s=s, max_s=s)
+
+    def merge(self, other: "PhaseStats") -> "PhaseStats":
+        """Associative pairwise combination."""
+        if self.calls == 0:
+            return other
+        if other.calls == 0:
+            return self
+        return PhaseStats(
+            calls=self.calls + other.calls,
+            total_s=self.total_s + other.total_s,
+            min_s=min(self.min_s, other.min_s),
+            max_s=max(self.max_s, other.max_s),
+        )
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per call (0.0 when the phase never ran)."""
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_jsonable(self) -> dict[str, object]:
+        """Plain-JSON form."""
+        return {"calls": self.calls, "total_s": self.total_s,
+                "min_s": self.min_s, "max_s": self.max_s}
+
+    @classmethod
+    def from_jsonable(cls, payload: dict[str, object]) -> "PhaseStats":
+        """Inverse of :meth:`to_jsonable`."""
+        def _f(key: str) -> float:
+            value = payload.get(key, 0.0)
+            return float(value) if isinstance(value, (int, float)) else 0.0
+        raw_calls = payload.get("calls", 0)
+        calls = raw_calls if isinstance(raw_calls, int) else 0
+        return cls(calls=calls, total_s=_f("total_s"),
+                   min_s=_f("min_s"), max_s=_f("max_s"))
+
+
+@dataclass(frozen=True, slots=True)
+class RunProfile:
+    """Per-run wall-clock profile: phase name → :class:`PhaseStats`."""
+
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+
+    def merge(self, other: "RunProfile") -> "RunProfile":
+        """Associative key-wise combination (sorted keys)."""
+        empty = PhaseStats()
+        return RunProfile(phases={
+            name: self.phases.get(name, empty).merge(
+                other.phases.get(name, empty))
+            for name in sorted(set(self.phases) | set(other.phases))
+        })
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all phase totals (phases may overlap; see docstring)."""
+        return sum(stats.total_s for stats in self.phases.values())
+
+    def to_jsonable(self) -> dict[str, object]:
+        """Plain-JSON form with sorted phase names."""
+        return {name: self.phases[name].to_jsonable()
+                for name in sorted(self.phases)}
+
+    @classmethod
+    def from_jsonable(cls, payload: dict[str, object]) -> "RunProfile":
+        """Inverse of :meth:`to_jsonable`."""
+        phases: dict[str, PhaseStats] = {}
+        for name, stats in payload.items():
+            if isinstance(stats, dict):
+                phases[str(name)] = PhaseStats.from_jsonable(stats)
+        return cls(phases=phases)
+
+
+class PhaseProfiler:
+    """Collects :class:`PhaseStats` per named phase via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseStats] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold one externally measured duration into ``name``."""
+        current = self._phases.get(name, PhaseStats())
+        self._phases[name] = current.merge(PhaseStats.from_duration(seconds))
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the ``with`` body as one call of phase ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def snapshot(self) -> RunProfile:
+        """Freeze the collected phases into a mergeable profile."""
+        return RunProfile(phases={name: self._phases[name]
+                                  for name in sorted(self._phases)})

@@ -1,0 +1,144 @@
+"""Render observability artifacts back into terminal tables.
+
+``python -m repro obs summarize <dir>`` loads the ``run-NNN-*``
+directories a traced (or metrics-enabled) command produced and prints,
+per run: the manifest header, the per-component counters (auctions
+held, ads dispatched, rescues, beacons, radio wakeups, ...), gauge
+high-water marks, histogram summaries, and the per-phase wall-clock
+profile including each shard's execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .manifest import MANIFEST_FILENAME, RunManifest
+from .metrics import MetricsSnapshot
+from .profile import RunProfile
+
+#: File names inside one run directory.
+METRICS_FILENAME = "metrics.json"
+PROFILE_FILENAME = "profile.json"
+TRACE_FILENAME = "trace.jsonl"
+CHROME_FILENAME = "trace.chrome.json"
+
+
+@dataclass(frozen=True, slots=True)
+class RunRecord:
+    """Everything loadable from one run directory."""
+
+    path: Path
+    manifest: RunManifest
+    metrics: MetricsSnapshot | None
+    profile: RunProfile | None
+
+    @property
+    def trace_path(self) -> Path | None:
+        """The JSONL trace, when the run recorded one."""
+        candidate = self.path / TRACE_FILENAME
+        return candidate if candidate.exists() else None
+
+
+def find_run_dirs(root: str | Path) -> list[Path]:
+    """Run directories under ``root`` (or ``root`` itself), sorted.
+
+    A run directory is recognised by its ``manifest.json``.
+    """
+    base = Path(root)
+    if (base / MANIFEST_FILENAME).exists():
+        return [base]
+    if not base.is_dir():
+        return []
+    return sorted(child for child in base.iterdir()
+                  if child.is_dir() and (child / MANIFEST_FILENAME).exists())
+
+
+def load_run(path: str | Path) -> RunRecord:
+    """Load one run directory's artifacts."""
+    import json
+
+    base = Path(path)
+    manifest = RunManifest.read(base / MANIFEST_FILENAME)
+    metrics: MetricsSnapshot | None = None
+    metrics_path = base / METRICS_FILENAME
+    if metrics_path.exists():
+        loaded = json.loads(metrics_path.read_text(encoding="utf-8"))
+        if isinstance(loaded, dict):
+            metrics = MetricsSnapshot.from_jsonable(loaded)
+    profile: RunProfile | None = None
+    profile_path = base / PROFILE_FILENAME
+    if profile_path.exists():
+        loaded = json.loads(profile_path.read_text(encoding="utf-8"))
+        if isinstance(loaded, dict):
+            profile = RunProfile.from_jsonable(loaded)
+    return RunRecord(path=base, manifest=manifest, metrics=metrics,
+                     profile=profile)
+
+
+def _fmt_num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_run(record: RunRecord) -> str:
+    """One run's full terminal rendering."""
+    # Imported lazily: repro.metrics pulls simulator modules that
+    # themselves import repro.obs at module load.
+    from repro.metrics.summary import format_table
+
+    manifest = record.manifest
+    sections: list[str] = []
+    streams = manifest.rng_stream_manifest_hash
+    sections.append(
+        f"## {record.path.name}\n"
+        f"system={manifest.system} seed={manifest.seed} "
+        f"shards={manifest.n_shards} parallelism={manifest.parallelism} "
+        f"trace={'on' if manifest.trace_enabled else 'off'} "
+        f"elapsed={manifest.elapsed_s:.2f}s\n"
+        f"config_hash={manifest.config_hash[:16]} "
+        f"streams_hash={streams[:16] if streams else 'n/a'}")
+    if record.metrics is not None:
+        snapshot = record.metrics
+        if snapshot.counters:
+            sections.append(format_table(
+                ["counter", "total"],
+                [(name, _fmt_num(value))
+                 for name, value in sorted(snapshot.counters.items())],
+                title="counters (component.event)"))
+        if snapshot.gauges:
+            sections.append(format_table(
+                ["gauge", "high-water"],
+                [(name, _fmt_num(value))
+                 for name, value in sorted(snapshot.gauges.items())],
+                title="gauges"))
+        if snapshot.histograms:
+            sections.append(format_table(
+                ["histogram", "count", "mean", "min", "max"],
+                [(name, str(h.count), f"{h.mean:.4g}",
+                  "-" if h.min_value is None else f"{h.min_value:.4g}",
+                  "-" if h.max_value is None else f"{h.max_value:.4g}")
+                 for name, h in sorted(snapshot.histograms.items())],
+                title="histograms (fixed log-scale bins)"))
+    if record.profile is not None and record.profile.phases:
+        rows = []
+        for name, stats in sorted(record.profile.phases.items()):
+            rows.append((name, str(stats.calls), f"{stats.total_s:.3f}s",
+                         f"{stats.mean_s:.3f}s", f"{stats.max_s:.3f}s"))
+        sections.append(format_table(
+            ["phase", "calls", "total", "mean", "max"],
+            rows, title="wall-clock profile"))
+    if record.trace_path is not None:
+        sections.append(f"trace: {record.trace_path} "
+                        f"(Chrome export: {record.path / CHROME_FILENAME})")
+    return "\n\n".join(sections)
+
+
+def summarize(root: str | Path) -> str:
+    """Render every run directory found under ``root``."""
+    runs = find_run_dirs(root)
+    if not runs:
+        return (f"no run directories under {root} "
+                f"(expected {MANIFEST_FILENAME} files)")
+    return "\n\n".join(render_run(load_run(path)) for path in runs)

@@ -1,0 +1,311 @@
+"""Sim-time structured tracing.
+
+Spans and instant events are stamped with **simulated** time (the
+engine clock / epoch clock the components already thread around), never
+the wall clock, so the recorded trace is itself deterministic: the same
+config and seed produce the same byte-for-byte trace at any
+parallelism. Wall-clock timing lives in :mod:`repro.obs.profile`
+instead.
+
+Two recorders ship:
+
+* :class:`NullRecorder` — the default; every method is an inherited
+  no-op and ``enabled`` is ``False`` so hot paths can skip building
+  event payloads entirely (the zero-overhead fast path).
+* :class:`MemoryRecorder` — appends :class:`TraceEvent` values to a
+  list, later exported as JSONL (one event per line, sorted keys) or as
+  Chrome ``trace_event`` JSON that loads directly in Perfetto /
+  ``chrome://tracing`` (shards map to processes, components to
+  threads).
+
+Event vocabulary (DESIGN.md §8): ``phase`` is ``"X"`` (a complete span
+with a duration) or ``"I"`` (an instant); ``component`` matches the
+instrument-name component (``engine``, ``client``, ``server``,
+``exchange``, ``realtime``); ``name`` is the event within it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+#: Trace schema version written into every JSONL header row.
+TRACE_SCHEMA_VERSION = 1
+
+#: Valid event phases: complete span / instant.
+PHASES = ("X", "I")
+
+#: Seconds → Chrome trace_event microseconds.
+_US = 1e6
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured trace record, stamped with simulated time."""
+
+    ts: float                 # simulated seconds
+    phase: str                # "X" (span) or "I" (instant)
+    component: str            # e.g. "server", "client", "exchange"
+    name: str                 # event within the component
+    dur: float = 0.0          # span duration in simulated seconds
+    shard: int = 0            # originating shard index
+    args: dict[str, object] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict[str, object]:
+        """Plain-JSON row (the JSONL line payload)."""
+        return {
+            "ts": self.ts,
+            "ph": self.phase,
+            "comp": self.component,
+            "name": self.name,
+            "dur": self.dur,
+            "shard": self.shard,
+            "args": self.args,
+        }
+
+
+class TraceRecorder:
+    """No-op base recorder (the ``NullRecorder`` behaviour).
+
+    ``enabled`` is ``False``; hot paths are expected to guard payload
+    construction with it::
+
+        if recorder.enabled:
+            recorder.instant(now, "server", "rescue", {"n": len(picked)})
+
+    so a run with the default recorder allocates nothing per event.
+    """
+
+    enabled: bool = False
+
+    def instant(self, ts: float, component: str, name: str,
+                args: dict[str, object] | None = None) -> None:
+        """Record an instant event at simulated time ``ts`` (no-op)."""
+
+    def complete(self, ts: float, dur: float, component: str, name: str,
+                 args: dict[str, object] | None = None) -> None:
+        """Record a span ``[ts, ts+dur)`` in simulated time (no-op)."""
+
+    def events(self) -> list[TraceEvent]:
+        """Recorded events (always empty for the null recorder)."""
+        return []
+
+
+class NullRecorder(TraceRecorder):
+    """The explicit zero-overhead recorder (inherits every no-op)."""
+
+
+#: Shared default instance: stateless, safe to reuse everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder(TraceRecorder):
+    """In-memory recorder; one per shard, merged by the Runner.
+
+    Events are kept in record order, which is deterministic because
+    each shard's simulation is deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self, shard: int = 0) -> None:
+        self.shard = int(shard)
+        self._events: list[TraceEvent] = []
+
+    def instant(self, ts: float, component: str, name: str,
+                args: dict[str, object] | None = None) -> None:
+        """Record an instant event at simulated time ``ts``."""
+        self._events.append(TraceEvent(
+            ts=float(ts), phase="I", component=component, name=name,
+            shard=self.shard, args=args if args is not None else {}))
+
+    def complete(self, ts: float, dur: float, component: str, name: str,
+                 args: dict[str, object] | None = None) -> None:
+        """Record a complete span starting at ``ts`` lasting ``dur``."""
+        self._events.append(TraceEvent(
+            ts=float(ts), phase="X", component=component, name=name,
+            dur=float(dur), shard=self.shard,
+            args=args if args is not None else {}))
+
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, in record order."""
+        return list(self._events)
+
+
+# ----------------------------------------------------------------------
+# JSONL export / import / validation
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(events: Sequence[TraceEvent], path: str | Path) -> int:
+    """Write ``events`` as JSONL (header row + one event per line).
+
+    Returns the number of event rows written. Keys are sorted so the
+    file is byte-stable for identical event streams.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as fh:
+        header = {"schema": "repro.obs.trace",
+                  "version": TRACE_SCHEMA_VERSION}
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in events:
+            fh.write(json.dumps(event.to_jsonable(), sort_keys=True) + "\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace written by :func:`write_jsonl`."""
+    events: list[TraceEvent] = []
+    for row in _iter_rows(path):
+        if "schema" in row:
+            continue
+        args = row.get("args", {})
+        events.append(TraceEvent(
+            ts=float(_num(row.get("ts", 0.0))),
+            phase=str(row.get("ph", "I")),
+            component=str(row.get("comp", "")),
+            name=str(row.get("name", "")),
+            dur=float(_num(row.get("dur", 0.0))),
+            shard=int(_num(row.get("shard", 0))),
+            args=dict(args) if isinstance(args, dict) else {},
+        ))
+    return events
+
+
+def _num(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _iter_rows(path: str | Path) -> Iterable[dict[str, object]]:
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                loaded = json.loads(line)
+                if isinstance(loaded, dict):
+                    yield loaded
+
+
+def validate_rows(rows: Iterable[Mapping[str, object]]) -> list[str]:
+    """Validate trace rows against the schema; returns error strings.
+
+    The first row may be the schema header; every other row must carry
+    ``ts``/``ph``/``comp``/``name``/``dur``/``shard`` with the right
+    types, ``ph`` in ``("X", "I")``, non-negative times, and a dict
+    ``args``.
+    """
+    problems: list[str] = []
+    for index, row in enumerate(rows):
+        if index == 0 and row.get("schema") == "repro.obs.trace":
+            if row.get("version") != TRACE_SCHEMA_VERSION:
+                problems.append(
+                    f"row 0: unsupported trace schema version "
+                    f"{row.get('version')!r}")
+            continue
+        where = f"row {index}"
+        for key in ("ts", "ph", "comp", "name", "dur", "shard", "args"):
+            if key not in row:
+                problems.append(f"{where}: missing key {key!r}")
+        ph = row.get("ph")
+        if ph is not None and ph not in PHASES:
+            problems.append(f"{where}: ph must be one of {PHASES}, "
+                            f"got {ph!r}")
+        for key in ("ts", "dur"):
+            value = row.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool) or value < 0):
+                problems.append(
+                    f"{where}: {key} must be a non-negative number, "
+                    f"got {value!r}")
+        shard = row.get("shard")
+        if shard is not None and (not isinstance(shard, int)
+                                  or isinstance(shard, bool) or shard < 0):
+            problems.append(f"{where}: shard must be a non-negative int, "
+                            f"got {shard!r}")
+        for key in ("comp", "name"):
+            value = row.get(key)
+            if value is not None and (not isinstance(value, str)
+                                      or not value):
+                problems.append(f"{where}: {key} must be a non-empty "
+                                f"string, got {value!r}")
+        args = row.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object, "
+                            f"got {type(args).__name__}")
+    return problems
+
+
+def validate_jsonl(path: str | Path) -> list[str]:
+    """Validate a JSONL trace file; returns error strings (empty = ok)."""
+    try:
+        rows = list(_iter_rows(path))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    if not rows:
+        return [f"{path}: empty trace file (missing schema header)"]
+    if rows[0].get("schema") != "repro.obs.trace":
+        return [f"{path}: first row is not the repro.obs.trace header"]
+    return validate_rows(rows)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+
+
+def to_chrome(events: Sequence[TraceEvent]) -> dict[str, object]:
+    """Convert events to the Chrome ``trace_event`` JSON object format.
+
+    Shards become processes (``pid``) and components become threads
+    (``tid``) so Perfetto's timeline groups spans the way the system is
+    sharded. Sim-time seconds map to trace microseconds.
+    """
+    components = sorted({e.component for e in events})
+    tid_of = {component: index + 1
+              for index, component in enumerate(components)}
+    shards = sorted({e.shard for e in events})
+    trace_events: list[dict[str, object]] = []
+    for shard in shards:
+        trace_events.append({
+            "ph": "M", "pid": shard, "tid": 0, "name": "process_name",
+            "args": {"name": f"shard {shard}"},
+        })
+        for component in components:
+            trace_events.append({
+                "ph": "M", "pid": shard, "tid": tid_of[component],
+                "name": "thread_name", "args": {"name": component},
+            })
+    for event in events:
+        row: dict[str, object] = {
+            "name": event.name,
+            "cat": event.component,
+            "pid": event.shard,
+            "tid": tid_of[event.component],
+            "ts": event.ts * _US,
+            "args": dict(event.args),
+        }
+        if event.phase == "X":
+            row["ph"] = "X"
+            row["dur"] = event.dur * _US
+        else:
+            row["ph"] = "i"
+            row["s"] = "t"
+        trace_events.append(row)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs.trace",
+                      "clock": "simulated-time"},
+    }
+
+
+def write_chrome(events: Sequence[TraceEvent], path: str | Path) -> None:
+    """Write the Chrome ``trace_event`` export of ``events`` to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_chrome(events), indent=2,
+                                 sort_keys=True) + "\n", encoding="utf-8")

@@ -11,12 +11,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import log as obs_log
 from repro.traces.schema import SECONDS_PER_DAY, Trace
 from repro.traces.stats import epoch_slot_counts
 
 from .base import SlotPredictor, epochs_per_day, make_predictor
 from .errors import ErrorSummary, PredictionLog, summarize_log
 from .models import OraclePredictor
+
+# Shared silenceable diagnostics (repro.obs.log); ad-hoc print()/logging
+# is deprecated repo-wide.
+_log = obs_log.get_logger("prediction.evaluate")
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +62,8 @@ def evaluate_model(model: str, trace: Trace, refresh_of: dict[str, float],
             actual = int(series[epoch])
             log.record(predicted, actual)
             predictor.observe(epoch, actual)
+    _log.debug("evaluated %s: %d users, %d test epochs each",
+               model, len(counts), len(log) // max(len(counts), 1))
     return log
 
 

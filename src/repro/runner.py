@@ -43,7 +43,7 @@ import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import reduce
 from pathlib import Path
 from typing import Sequence
@@ -72,6 +72,17 @@ from repro.metrics.outcomes import (
     RealtimeOutcome,
     compare,
 )
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.profile import PhaseProfiler, RunProfile
+from repro.obs.runtime import (
+    Obs,
+    ObsOptions,
+    activate,
+    default_obs_options,
+    next_run_dir,
+)
+from repro.obs.trace import MemoryRecorder, TraceEvent, write_chrome, write_jsonl
 from repro.radio.profiles import RadioProfile
 from repro.traces.stats import epoch_slot_counts
 from repro.workloads.appstore import TOP15, AppProfile
@@ -270,35 +281,61 @@ class ShardTask:
     profile_of: dict[str, RadioProfile]
     counts: dict[str, np.ndarray]
     horizon: float
+    trace: bool = False
 
 
 @dataclass(slots=True)
 class ShardResult:
-    """One shard's contribution to the merged run result."""
+    """One shard's contribution to the merged run result.
+
+    Besides the simulation outcomes, every shard carries its local
+    :class:`~repro.obs.metrics.MetricsSnapshot`, its trace events (empty
+    unless tracing was requested), and its own wall-clock execution
+    time — all of which the Runner folds deterministically in
+    shard-index order.
+    """
 
     shard_index: int
     n_users: int
     prefetch: PrefetchOutcome | None = None
     replication_weight: float = 0.0
     realtime: RealtimeOutcome | None = None
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    events: list[TraceEvent] | None = None
+    elapsed_s: float = 0.0
 
 
 def _run_shard(task: ShardTask) -> ShardResult:
-    """Worker entry point: run one shard's epoch loop(s)."""
+    """Worker entry point: run one shard's epoch loop(s).
+
+    Activates a fresh shard-local :class:`~repro.obs.runtime.Obs`
+    bundle around the run, so every component constructed inside binds
+    shard-local instruments; tracing uses a per-shard
+    :class:`~repro.obs.trace.MemoryRecorder` only when requested.
+    """
+    profiler = PhaseProfiler()
+    recorder = (MemoryRecorder(shard=task.shard_index) if task.trace
+                else None)
+    obs = Obs.create(recorder)
     tag = shard_rng_tag(task.shard_index, task.n_shards)
     result = ShardResult(shard_index=task.shard_index,
                          n_users=len(task.timelines))
-    if task.system in ("prefetch", "headline"):
-        artifacts: PrefetchArtifacts = run_prefetch_shard(
-            task.config, task.apps, task.timelines, task.profile_of,
-            task.counts, task.horizon, rng_tag=tag)
-        result.prefetch = artifacts.outcome
-        result.replication_weight = float(
-            sum(1 for s in artifacts.server.plan_stats if s.sold))
-    if task.system in ("realtime", "headline"):
-        result.realtime = run_realtime_shard(
-            task.config, task.apps, task.timelines, task.profile_of,
-            task.horizon, rng_tag=tag)
+    with activate(obs), profiler.phase("shard.execute"):
+        if task.system in ("prefetch", "headline"):
+            artifacts: PrefetchArtifacts = run_prefetch_shard(
+                task.config, task.apps, task.timelines, task.profile_of,
+                task.counts, task.horizon, rng_tag=tag)
+            result.prefetch = artifacts.outcome
+            result.replication_weight = float(
+                sum(1 for s in artifacts.server.plan_stats if s.sold))
+        if task.system in ("realtime", "headline"):
+            result.realtime = run_realtime_shard(
+                task.config, task.apps, task.timelines, task.profile_of,
+                task.horizon, rng_tag=tag)
+    result.metrics = obs.metrics.snapshot()
+    result.events = obs.recorder.events() if task.trace else None
+    stats = profiler.snapshot().phases.get("shard.execute")
+    result.elapsed_s = stats.total_s if stats is not None else 0.0
     return result
 
 
@@ -356,7 +393,13 @@ def _merge_realtime(results: Sequence[ShardResult]) -> RealtimeOutcome:
 
 @dataclass(frozen=True, slots=True)
 class RunResult:
-    """Merged outcome of one :meth:`Runner.run` call."""
+    """Merged outcome of one :meth:`Runner.run` call.
+
+    The observability fields (``metrics``, ``profile``, ``manifest``,
+    ``trace_events``) are carried alongside the simulation outcomes and
+    never feed back into them: a traced run's ``comparison`` is
+    bit-for-bit identical to an untraced one.
+    """
 
     system: str
     n_shards: int
@@ -365,6 +408,11 @@ class RunResult:
     prefetch: PrefetchOutcome | None = None
     realtime: RealtimeOutcome | None = None
     comparison: Comparison | None = None
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    profile: RunProfile = field(default_factory=RunProfile)
+    manifest: RunManifest | None = None
+    trace_events: tuple[TraceEvent, ...] = ()
+    artifacts_dir: Path | None = None
 
     @property
     def value(self) -> Comparison | PrefetchOutcome | RealtimeOutcome | None:
@@ -404,6 +452,12 @@ class Runner:
     apps:
         App catalog for world construction (defaults to the paper's
         top-15 catalog).
+    obs:
+        Observability options (tracing, artifact directory). ``None``
+        falls back to the process default installed by the CLI's
+        ``--trace``/``--metrics-out`` flags (see
+        :func:`repro.obs.runtime.set_default_obs_options`); pass
+        ``ObsOptions()`` explicitly to force the quiet default.
     """
 
     def __init__(self, config: ExperimentConfig, *,
@@ -411,7 +465,8 @@ class Runner:
                  shards: int | None = None,
                  cache: WorldCache | None = None,
                  world: World | None = None,
-                 apps: Sequence[AppProfile] = TOP15) -> None:
+                 apps: Sequence[AppProfile] = TOP15,
+                 obs: ObsOptions | None = None) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if shards is not None and shards < 1:
@@ -422,6 +477,7 @@ class Runner:
         self.cache = cache
         self.world = world
         self.apps = tuple(apps)
+        self.obs = obs
 
     def resolve_shards(self, n_users: int) -> int:
         """The effective shard count for an ``n_users`` population."""
@@ -429,7 +485,8 @@ class Runner:
             n_users)
         return max(1, min(n, max(1, n_users)))
 
-    def _tasks(self, system: str, world: World) -> list[ShardTask]:
+    def _tasks(self, system: str, world: World,
+               trace: bool = False) -> list[ShardTask]:
         user_ids = list(world.timelines)
         n_shards = self.resolve_shards(len(user_ids))
         counts = epoch_slot_counts(world.trace, world.refresh_of,
@@ -446,6 +503,7 @@ class Runner:
                 profile_of={uid: world.profile_of[uid] for uid in chunk},
                 counts={uid: counts[uid] for uid in chunk},
                 horizon=world.trace.horizon,
+                trace=trace,
             ))
         return tasks
 
@@ -462,33 +520,86 @@ class Runner:
         if system not in SYSTEMS:
             raise ValueError(
                 f"unknown system {system!r}; expected one of {SYSTEMS}")
+        options = self.obs if self.obs is not None else default_obs_options()
+        trace = bool(options.trace) if options is not None else False
+        profiler = PhaseProfiler()
         started = time.perf_counter()
         world = self.world
         if world is None:
             cache = self.cache if self.cache is not None \
                 else default_world_cache()
-            world = cache.get(self.config, self.apps)
-        tasks = self._tasks(system, world)
+            with profiler.phase("world.build"):
+                world = cache.get(self.config, self.apps)
+        tasks = self._tasks(system, world, trace)
         workers = min(self.parallelism, len(tasks))
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_shard, tasks))
-        else:
-            results = [_run_shard(task) for task in tasks]
+        with profiler.phase("shards.execute"):
+            if workers > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_run_shard, tasks))
+            else:
+                results = [_run_shard(task) for task in tasks]
+        for shard in results:
+            profiler.add(f"shard.{shard.shard_index}.execute",
+                         shard.elapsed_s)
         prefetch = realtime = comparison = None
-        if system in ("prefetch", "headline"):
-            prefetch = _merge_prefetch(results, self.config)
-        if system in ("realtime", "headline"):
-            realtime = _merge_realtime(results)
-        if system == "headline":
-            assert prefetch is not None and realtime is not None
-            comparison = compare(prefetch, realtime)
+        with profiler.phase("merge"):
+            if system in ("prefetch", "headline"):
+                prefetch = _merge_prefetch(results, self.config)
+            if system in ("realtime", "headline"):
+                realtime = _merge_realtime(results)
+            if system == "headline":
+                assert prefetch is not None and realtime is not None
+                comparison = compare(prefetch, realtime)
+            metrics = reduce(MetricsSnapshot.merge,
+                             (r.metrics for r in results), MetricsSnapshot())
+            events: list[TraceEvent] = []
+            if trace:
+                for shard in results:
+                    events.extend(shard.events or [])
+        elapsed_s = time.perf_counter() - started
+        manifest = build_manifest(
+            self.config, system=system, n_shards=len(tasks),
+            parallelism=self.parallelism, trace_enabled=trace,
+            elapsed_s=elapsed_s, counter_totals=metrics.counters)
+        profile = profiler.snapshot()
+        artifacts_dir = self._write_artifacts(
+            options, result_system=system, manifest=manifest,
+            metrics=metrics, profile=profile, events=events, trace=trace)
         return RunResult(
             system=system,
             n_shards=len(tasks),
             parallelism=self.parallelism,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed_s,
             prefetch=prefetch,
             realtime=realtime,
             comparison=comparison,
+            metrics=metrics,
+            profile=profile,
+            manifest=manifest,
+            trace_events=tuple(events),
+            artifacts_dir=artifacts_dir,
         )
+
+    def _write_artifacts(self, options: ObsOptions | None, *,
+                         result_system: str, manifest: RunManifest,
+                         metrics: MetricsSnapshot, profile: RunProfile,
+                         events: Sequence[TraceEvent],
+                         trace: bool) -> Path | None:
+        """Write one ``run-NNN-<label>`` artifact directory, if requested."""
+        if options is None or options.out_dir is None:
+            return None
+        import json
+
+        run_dir = next_run_dir(options, result_system)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        manifest.write(run_dir / "manifest.json")
+        (run_dir / "metrics.json").write_text(
+            json.dumps(metrics.to_jsonable(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        (run_dir / "profile.json").write_text(
+            json.dumps(profile.to_jsonable(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        if trace:
+            write_jsonl(events, run_dir / "trace.jsonl")
+            write_chrome(events, run_dir / "trace.chrome.json")
+        return run_dir

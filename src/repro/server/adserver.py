@@ -27,7 +27,13 @@ from repro.core.revenue import RevenueReport, settle_revenue
 from repro.core.showcurve import DispatchCurve, WindowedShowCurveEstimator
 from repro.core.sla import DisplayLog, SaleOutcome, SlaReport, settle_sla
 from repro.exchange.marketplace import Exchange, Sale
+from repro.obs import log as obs_log
+from repro.obs.runtime import current_obs
 from repro.prediction.base import SlotPredictor
+
+# Shared silenceable diagnostics (repro.obs.log); ad-hoc print()/logging
+# is deprecated repo-wide.
+_log = obs_log.get_logger("server.adserver")
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,6 +160,17 @@ class AdServer:
         self.fallback_impressions = 0
         self.unfilled_slots = 0
         self.syncs = 0
+        # Observability instruments (shard-local; merged by the Runner).
+        obs = current_obs()
+        self._recorder = obs.recorder
+        self._sync_counter = obs.metrics.counter("server.syncs")
+        self._rescue_counter = obs.metrics.counter("server.rescues")
+        self._sold_counter = obs.metrics.counter("server.plan.sold")
+        self._dispatch_counter = obs.metrics.counter("server.plan.assignments")
+        self._fallback_counter = obs.metrics.counter("server.fallback.filled")
+        self._unfilled_counter = obs.metrics.counter("server.fallback.unfilled")
+        self._replication_hist = obs.metrics.histogram(
+            "server.plan.replication")
 
     # ------------------------------------------------------------------
     # Model training / updates
@@ -231,6 +248,16 @@ class AdServer:
             unplaced=len(plan.unplaced),
         )
         self.plan_stats.append(stats)
+        self._sold_counter.inc(stats.sold)
+        self._dispatch_counter.inc(stats.assignments)
+        if stats.sold:
+            self._replication_hist.observe(stats.replication_factor)
+        if self._recorder.enabled:
+            self._recorder.instant(
+                now, "server", "dispatch",
+                args={"epoch": epoch_index, "n_sold": stats.sold,
+                      "n_assignments": stats.assignments,
+                      "n_unplaced": stats.unplaced})
         return stats
 
     def _prune_state(self, state: _ClientState, now: float) -> None:
@@ -257,8 +284,14 @@ class AdServer:
         of queued ads that other replicas already displayed.
         """
         self.syncs += 1
+        self._sync_counter.inc()
         self._last_contact[user_id] = now
         invalidated = self.report(user_id, reports)
+        if self._recorder.enabled and (reports or invalidated):
+            self._recorder.instant(
+                now, "server", "reconcile",
+                args={"user": user_id, "n_reports": len(reports),
+                      "n_invalidated": len(invalidated)})
         state = self._clients[user_id]
         deliverable = [
             a for a in state.pending
@@ -343,6 +376,11 @@ class AdServer:
         for entry in skipped:
             heapq.heappush(self._at_risk, entry)
         self.rescues += len(picked)
+        self._rescue_counter.inc(len(picked))
+        if picked and self._recorder.enabled:
+            self._recorder.instant(now, "server", "rescue",
+                                   args={"user": user_id,
+                                         "n_sales": len(picked)})
         return picked
 
     def record_display(self, sale_id: int, user_id: str, time: float) -> None:
@@ -358,14 +396,17 @@ class AdServer:
         """Cache-miss fallback. Returns the sale to fetch, or None."""
         if self.config.fallback == "house":
             self.unfilled_slots += 1
+            self._unfilled_counter.inc()
             return None
         sale = self.exchange.sell_now(now, category=category,
                                       platform=platform)
         if sale is None:
             self.unfilled_slots += 1
+            self._unfilled_counter.inc()
             return None
         self.fallback_billed += sale.price
         self.fallback_impressions += 1
+        self._fallback_counter.inc()
         return sale
 
     # ------------------------------------------------------------------
@@ -381,6 +422,10 @@ class AdServer:
             fallback_impressions=self.fallback_impressions,
             unfilled_slots=self.unfilled_slots,
         )
+        _log.debug("finalize: %d sales, %d syncs, %d rescues, "
+                   "%d fallback fills, %d unfilled slots",
+                   len(self.all_sales), self.syncs, self.rescues,
+                   self.fallback_impressions, self.unfilled_slots)
         return outcomes, sla, revenue
 
     # ------------------------------------------------------------------

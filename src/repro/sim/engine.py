@@ -22,7 +22,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import current_obs
+
 from .events import PRIORITY_NORMAL, Event, make_event
+
+#: Signature of the optional :meth:`Engine.run` observer hook:
+#: ``on_event(processed_count, sim_time_s)`` after each fired event.
+EventHook = Callable[[int, float], None]
 
 
 class SimulationError(RuntimeError):
@@ -44,11 +51,25 @@ class Engine:
         self._running = False
         self._stop_requested = False
         self._processed = 0
+        obs = current_obs()
+        self._metrics = obs.metrics
+        self._recorder = obs.recorder
+        self._events_counter = obs.metrics.counter("engine.events")
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The observability registry this engine counts into.
+
+        Exposed so callbacks and harness code can read (or add)
+        instruments mid-run — e.g. poll ``engine.events`` between
+        epochs — without reaching for the process-global context.
+        """
+        return self._metrics
 
     @property
     def processed_events(self) -> int:
@@ -81,7 +102,8 @@ class Engine:
         return self.schedule_at(self._now + delay, callback, args, priority)
 
     def run(self, until: float | None = None,
-            max_events: int | None = None) -> float:
+            max_events: int | None = None,
+            on_event: EventHook | None = None) -> float:
         """Process events in timestamp order.
 
         Parameters
@@ -92,6 +114,11 @@ class Engine:
             (or at the last event time if the queue drains first).
         max_events:
             Safety valve: stop after firing this many events.
+        on_event:
+            Optional observer called as ``on_event(processed, now_s)``
+            after every fired event. Observers must not mutate
+            simulation state — they exist for mid-run observability
+            (progress meters, watchdogs calling :meth:`stop`).
 
         Returns
         -------
@@ -102,6 +129,7 @@ class Engine:
         self._stop_requested = False
         stopped = False
         fired = 0
+        started_at = self._now
         try:
             while self._queue:
                 if self._stop_requested:
@@ -120,11 +148,18 @@ class Engine:
                 event.fire()
                 self._processed += 1
                 fired += 1
+                if on_event is not None:
+                    on_event(self._processed, self._now)
         finally:
             self._running = False
             self._stop_requested = False
         if not stopped and until is not None and self._now < until:
             self._now = until
+        self._events_counter.inc(fired)
+        if self._recorder.enabled:
+            self._recorder.complete(started_at, self._now - started_at,
+                                    "engine", "run",
+                                    args={"n_events": fired})
         return self._now
 
     def stop(self) -> None:
@@ -153,6 +188,7 @@ class Engine:
             self._now = event.time
             event.fire()
             self._processed += 1
+            self._events_counter.inc()
             return True
         return False
 

@@ -18,7 +18,13 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.obs import log
+
 from .schema import SECONDS_PER_DAY, SECONDS_PER_HOUR, Session, Trace
+
+# Diagnostics go through the shared repro.obs.log helper (silent unless
+# enabled); ad-hoc print()/logging setups are deprecated repo-wide.
+_log = log.get_logger("traces.generator")
 
 if TYPE_CHECKING:  # avoid an import cycle; apps are duck-typed at runtime
     from repro.workloads.appstore import AppProfile
@@ -66,8 +72,11 @@ class TraceGenerator:
     def generate(self, population: Sequence["UserProfile"]) -> Trace:
         """Generate the full trace for ``population``."""
         trace = Trace(n_days=self.config.n_days)
+        n_sessions = 0
+        n_silent = 0
         for user in population:
             user_trace_sessions = self._user_sessions(user)
+            n_sessions += len(user_trace_sessions)
             for session in user_trace_sessions:
                 trace.add_session(session, platform=user.platform)
             if user.user_id not in trace.users:
@@ -75,8 +84,12 @@ class TraceGenerator:
                 # client SDK and must be predicted (as ~zero slots).
                 from .schema import UserTrace
                 trace.users[user.user_id] = UserTrace(user.user_id, user.platform)
+                n_silent += 1
         for user_trace in trace.users.values():
             user_trace.sort()
+        _log.debug("generated %d sessions for %d users (%d silent) "
+                   "over %d days", n_sessions, len(population), n_silent,
+                   self.config.n_days)
         return trace
 
     def _user_sessions(self, user: "UserProfile") -> list[Session]:

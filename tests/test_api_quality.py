@@ -10,7 +10,7 @@ PACKAGES = [
     "repro.sim", "repro.radio", "repro.traces", "repro.workloads",
     "repro.client", "repro.prediction", "repro.exchange", "repro.server",
     "repro.core", "repro.baselines", "repro.metrics", "repro.experiments",
-    "repro.analysis", "repro.analysis.rules",
+    "repro.analysis", "repro.analysis.rules", "repro.obs",
 ]
 
 

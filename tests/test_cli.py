@@ -64,3 +64,31 @@ def test_headline_command_small(capsys):
     out = capsys.readouterr().out
     assert "energy savings" in out
     assert "SLA violation rate" in out
+
+
+def test_headline_with_trace_writes_artifacts(tmp_path, capsys):
+    from repro.obs.runtime import set_default_obs_options
+
+    try:
+        code = main(["headline", "--users", "12", "--days", "6",
+                     "--train-days", "3", "--seed", "15",
+                     "--trace", "--metrics-out", str(tmp_path)])
+    finally:
+        # The CLI installs a process default; clear it for later tests.
+        set_default_obs_options(None)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run artifacts:" in out
+    run_dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+    assert len(run_dirs) == 1
+    names = {p.name for p in run_dirs[0].iterdir()}
+    assert {"manifest.json", "metrics.json", "profile.json",
+            "trace.jsonl", "trace.chrome.json"} <= names
+
+    assert main(["obs", "validate",
+                 str(run_dirs[0] / "trace.jsonl")]) == 0
+    assert main(["obs", "summarize", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    for name in ("exchange.auctions.held", "server.plan.assignments",
+                 "server.rescues", "client.beacons", "radio.wakeups"):
+        assert name in out

@@ -1,0 +1,180 @@
+"""repro.obs.metrics: instruments, registry, and the merge contract."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS,
+    N_BINS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    histogram_bin,
+    validate_instrument_name,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("client.syncs")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("client.syncs").inc(-1)
+
+    def test_gauge_tracks_high_water(self):
+        g = Gauge("server.queue.depth")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1.0
+        assert g.high == 3.0
+
+    def test_histogram_observe(self):
+        h = Histogram("client.sync.bytes")
+        for v in (0.5, 2.0, 1024.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(1026.5)
+        assert h.min_value == 0.5
+        assert h.max_value == 1024.0
+        assert sum(h.counts) == 3
+
+    def test_histogram_bin_edges(self):
+        # Bin 0 is the underflow bucket; the last bin the overflow one.
+        assert histogram_bin(0.0) == 0
+        assert histogram_bin(HISTOGRAM_BOUNDS[0]) == 0
+        assert histogram_bin(HISTOGRAM_BOUNDS[-1]) == N_BINS - 2
+        assert histogram_bin(HISTOGRAM_BOUNDS[-1] * 2) == N_BINS - 1
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name", [
+        "server.rescues", "exchange.auctions.held", "a.b_c",
+        "realtime.exchange.clearing_price",
+    ])
+    def test_valid_names(self, name):
+        assert validate_instrument_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "norcomponent", "Upper.case", "spaced name.x", "trailing.",
+        ".leading", "dash-ed.name", "",
+    ])
+    def test_invalid_names_raise(self, name):
+        with pytest.raises(ValueError, match="component.event"):
+            validate_instrument_name(name)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_cache(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_cross_kind_alias_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("a.b")
+
+    def test_snapshot_captures_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c.n").inc(2)
+        reg.gauge("g.n").set(5)
+        reg.histogram("h.n").observe(1.5)
+        snap = reg.snapshot()
+        assert snap.counters == {"c.n": 2}
+        assert snap.gauges == {"g.n": 5.0}
+        assert snap.histograms["h.n"].count == 1
+
+
+# ---------------------------------------------------------------------
+# Merge contract: associativity with identity (the RPR004 invariant the
+# Runner leans on when folding shard snapshots).
+# ---------------------------------------------------------------------
+
+_NAMES = st.sampled_from(["engine.events", "server.rescues",
+                          "client.beacons", "exchange.auctions.held"])
+# Integer-valued amounts keep float addition exact, so associativity is
+# a strict equality rather than an approximation.
+_AMOUNTS = st.integers(min_value=0, max_value=10_000).map(float)
+_COUNTS = st.lists(st.integers(min_value=0, max_value=5),
+                   min_size=N_BINS, max_size=N_BINS).map(tuple)
+
+_HISTS = st.builds(
+    HistogramSnapshot,
+    counts=_COUNTS,
+    total=_AMOUNTS,
+    count=st.integers(min_value=0, max_value=100),
+    min_value=st.none() | _AMOUNTS,
+    max_value=st.none() | _AMOUNTS,
+)
+
+_SNAPSHOTS = st.builds(
+    MetricsSnapshot,
+    counters=st.dictionaries(_NAMES, _AMOUNTS, max_size=3),
+    gauges=st.dictionaries(_NAMES, _AMOUNTS, max_size=3),
+    histograms=st.dictionaries(_NAMES, _HISTS, max_size=2),
+)
+
+
+class TestMergeContract:
+    @settings(max_examples=60, deadline=None)
+    @given(a=_SNAPSHOTS, b=_SNAPSHOTS, c=_SNAPSHOTS)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_SNAPSHOTS)
+    def test_empty_snapshot_is_identity(self, a):
+        empty = MetricsSnapshot()
+        assert a.merge(empty) == empty.merge(a)
+        assert a.merge(empty).counters == a.counters
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_SNAPSHOTS, b=_SNAPSHOTS)
+    def test_merge_is_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_semantics_by_kind(self):
+        a = MetricsSnapshot(counters={"c.n": 2}, gauges={"g.n": 3.0})
+        b = MetricsSnapshot(counters={"c.n": 5}, gauges={"g.n": 1.0})
+        merged = a.merge(b)
+        assert merged.counters["c.n"] == 7     # counters add
+        assert merged.gauges["g.n"] == 3.0     # gauges keep the high-water
+
+    def test_histogram_merge_is_binwise(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h.n").observe(1.0)
+        reg2.histogram("h.n").observe(1.0)
+        reg2.histogram("h.n").observe(4096.0)
+        merged = reg1.snapshot().merge(reg2.snapshot()).histograms["h.n"]
+        assert merged.count == 3
+        assert merged.counts[histogram_bin(1.0)] == 2
+        assert merged.min_value == 1.0
+        assert merged.max_value == 4096.0
+
+
+class TestJsonRoundtrip:
+    def test_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c.n").inc(2)
+        reg.gauge("g.n").set(9)
+        reg.histogram("h.n").observe(3.0)
+        snap = reg.snapshot()
+        assert MetricsSnapshot.from_jsonable(snap.to_jsonable()) == snap
+
+    def test_histogram_roundtrip_preserves_none_bounds(self):
+        empty = HistogramSnapshot()
+        back = HistogramSnapshot.from_jsonable(empty.to_jsonable())
+        assert back == empty
+        assert back.min_value is None and back.max_value is None

@@ -93,6 +93,27 @@ class TestDeterminism:
                 return time.perf_counter() - started
             """) == []
 
+    def test_perf_counter_flagged_inside_obs(self):
+        # Observability code must carry simulated time only; even the
+        # monotonic allowlist is confined to repro/obs/profile.py.
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.perf_counter()
+            """, path="src/repro/obs/trace.py")
+        assert rules_of(findings) == {"RPR001"}
+        assert "repro/obs/profile.py" in findings[0].message
+
+    def test_perf_counter_allowed_in_obs_profile(self):
+        assert lint("""
+            import time
+
+            def elapsed() -> float:
+                started = time.perf_counter()
+                return time.perf_counter() - started
+            """, path="src/repro/obs/profile.py") == []
+
     def test_threaded_generator_draw_allowed(self):
         assert lint("""
             import numpy as np
@@ -347,11 +368,45 @@ class TestMerges:
         # float-associativity hazard specific to metrics code.
         assert rules_of(findings) == {"RPR001", "RPR004"}
 
-    def test_rule_scoped_to_metrics_package(self):
+    def test_rule_scoped_to_mergeable_packages(self):
         assert lint("""
             class ElsewhereAccumulator:
                 total: float = 0.0
             """, path="src/repro/client/cache.py") == []
+
+    def test_mutating_merge_flagged_in_obs_tree(self):
+        # Any class defining merge — accumulator-named or not — must
+        # return a value when it lives in a mergeable tree.
+        findings = lint("""
+            class Snapshot:
+                def __init__(self):
+                    self.counters = {}
+
+                def merge(self, other):
+                    self.counters.update(other.counters)
+            """, path="src/repro/obs/metrics.py")
+        assert rules_of(findings) == {"RPR004"}
+        assert "never returns" in findings[0].message
+
+    def test_non_accumulator_without_merge_allowed(self):
+        # Only *Accumulator names are obliged to define merge; helper
+        # classes in the mergeable trees may simply have none.
+        assert lint("""
+            class TraceEvent:
+                ts: float = 0.0
+            """, path="src/repro/obs/trace.py") == []
+
+    def test_pure_snapshot_merge_allowed_in_obs_tree(self):
+        assert lint("""
+            class Snapshot:
+                def __init__(self, counters=None):
+                    self.counters = counters or {}
+
+                def merge(self, other):
+                    merged = dict(self.counters)
+                    merged.update(other.counters)
+                    return Snapshot(merged)
+            """, path="src/repro/obs/metrics.py") == []
 
 
 # ---------------------------------------------------------------------

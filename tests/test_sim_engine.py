@@ -164,3 +164,49 @@ def test_stop_while_idle_is_a_noop():
     eng.schedule_at(1.0, hits.append, (1,))
     eng.run()
     assert hits == [1]
+
+
+# ---------------------------------------------------------------------
+# Observability: the on_event hook and the metrics handle
+# ---------------------------------------------------------------------
+
+
+def test_on_event_hook_sees_every_fired_event():
+    eng = Engine()
+    seen = []
+    for t in (1.0, 2.0, 5.0):
+        eng.schedule_at(t, lambda: None)
+    eng.run(on_event=lambda processed, now: seen.append((processed, now)))
+    times = [now for _, now in seen]
+    assert times == [1.0, 2.0, 5.0]
+    # The count is the engine's cumulative processed-event count.
+    assert [processed for processed, _ in seen] == [1, 2, 3]
+
+
+def test_on_event_hook_can_stop_the_run():
+    eng = Engine()
+    hits = []
+    for t in (1.0, 2.0, 3.0):
+        eng.schedule_at(t, hits.append, (t,))
+
+    def watchdog(processed, now):
+        if processed >= 2:
+            eng.stop()
+
+    eng.run(on_event=watchdog)
+    assert hits == [1.0, 2.0]
+
+
+def test_engine_counts_events_into_metrics():
+    from repro.obs.runtime import Obs, activate
+
+    bundle = Obs.create()
+    with activate(bundle):
+        eng = Engine()
+        for t in (1.0, 2.0):
+            eng.schedule_at(t, lambda: None)
+        eng.run()
+        eng.schedule_at(3.0, lambda: None)
+        eng.step()
+    assert eng.metrics is bundle.metrics
+    assert bundle.metrics.snapshot().counters["engine.events"] == 3
