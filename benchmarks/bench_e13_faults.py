@@ -1,0 +1,44 @@
+"""E13: fault injection and resilience at bench scale.
+
+The acceptance claim: with rescue enabled, prefetching's SLA violation
+rate stays strictly below real-time serving's ad-miss rate at every
+non-zero fault intensity — the cache plus contact-staleness rescue
+absorb faults that cost real-time serving an impression outright.
+"""
+
+from conftest import bench_config, run_once
+
+from repro.experiments.e13_faults import INTENSITIES, run_e13
+
+
+def test_e13_faults(benchmark, record_table):
+    config = bench_config()
+    table = run_once(benchmark, run_e13, config)
+    record_table("e13", table.render(), result=table, config=config)
+
+    for intensity in INTENSITIES:
+        realtime = table.row_for(intensity, "realtime")
+        rescue = table.row_for(intensity, "prefetch+rescue")
+        if intensity == 0.0:
+            # The zero-fault anchor: each system's own baseline.
+            assert realtime.failure_rate == 0.0
+            assert rescue.revenue_loss == 0.0
+            assert rescue.energy_overhead == 0.0
+            continue
+        # THE claim: rescue keeps broken promises below realtime's.
+        assert rescue.failure_rate < realtime.failure_rate
+        # Realtime misses at least the raw loss probability (every slot
+        # fetch is exposed, and outages/blackouts only add to it).
+        assert realtime.failure_rate >= intensity * 0.8
+        # Faults cost revenue in every system, monotonically-ish.
+        assert realtime.revenue_loss > 0.0
+        assert rescue.revenue_loss > 0.0
+        # Resilience costs energy (retries, failed attempts, rescues) —
+        # but prefetching stays far below realtime's per-user ad energy.
+        assert rescue.ad_joules_per_user_day < \
+            realtime.ad_joules_per_user_day
+
+    # Rescue beats no-rescue prefetch on SLA at the top intensity.
+    top = max(INTENSITIES)
+    assert (table.row_for(top, "prefetch+rescue").failure_rate
+            < table.row_for(top, "prefetch").failure_rate)

@@ -17,6 +17,9 @@ The package implements the full stack the paper evaluates on:
   table/figure.
 * :mod:`repro.obs` — observability: mergeable metrics, sim-time
   tracing, wall-clock profiling, run manifests.
+* :mod:`repro.faults` — deterministic fault injection (loss, outages,
+  server blackouts, latency, churn) and the resilience policies it
+  exercises.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -31,12 +34,8 @@ from repro.experiments.config import (  # noqa: E402
     PAPER_SCALE,
     ExperimentConfig,
 )
-from repro.experiments.harness import (  # noqa: E402
-    get_world,
-    run_headline,
-    run_prefetch,
-    run_realtime,
-)
+from repro.experiments.harness import get_world  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
 from repro.obs.runtime import ObsOptions  # noqa: E402
 from repro.runner import (  # noqa: E402
     Runner,
@@ -48,6 +47,7 @@ from repro.runner import (  # noqa: E402
 __all__ = [
     "__version__",
     "ExperimentConfig",
+    "FaultPlan",
     "PAPER_SCALE",
     "BENCH_SCALE",
     "ObsOptions",
@@ -56,7 +56,4 @@ __all__ = [
     "WorldCache",
     "default_world_cache",
     "get_world",
-    "run_headline",
-    "run_prefetch",
-    "run_realtime",
 ]

@@ -36,17 +36,56 @@ from .common import (
 _STREAM_METHODS = frozenset({"stream", "fresh"})
 
 
-def stream_name_template(node: ast.expr) -> str | None:
+def module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` string bindings.
+
+    These fold into stream-name templates: ``repro.faults`` names its
+    stream prefixes once (``STREAM_LOSS = "faults.loss"``) and builds
+    per-user names as ``f"{STREAM_LOSS}:{uid}"`` — the manifest should
+    record ``faults.loss:{uid}``, not an opaque ``{STREAM_LOSS}``.
+    Rebound names (assigned more than once, or augmented) are dropped:
+    their value is not statically knowable.
+    """
+    constants: dict[str, str] = {}
+    rebound: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in constants or target.id in rebound:
+                rebound.add(target.id)
+                constants.pop(target.id, None)
+                continue
+            if (isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)):
+                constants[target.id] = value.value
+    return constants
+
+
+def stream_name_template(node: ast.expr,
+                         constants: dict[str, str] | None = None
+                         ) -> str | None:
     """Render a stream-name expression to a stable template, or ``None``.
 
     ``"traces"`` → ``traces``; ``"campaigns" + rng_tag`` →
-    ``campaigns{rng_tag}``; ``f"user-{uid}"`` → ``user-{uid}``. Returns
-    ``None`` for expressions that cannot be statically templated (calls,
+    ``campaigns{rng_tag}``; ``f"user-{uid}"`` → ``user-{uid}``. Names
+    bound to module-level string constants (``constants``, from
+    :func:`module_constants`) fold to their values:
+    ``f"{STREAM_LOSS}:{uid}"`` → ``faults.loss:{uid}``. Returns ``None``
+    for expressions that cannot be statically templated (calls,
     subscripts, conditionals, …) — those are RPR002 findings.
     """
     if isinstance(node, ast.Constant) and isinstance(node.value, str):
         return node.value
     if isinstance(node, ast.Name):
+        if constants is not None and node.id in constants:
+            return constants[node.id]
         return "{" + node.id + "}"
     if isinstance(node, ast.Attribute):
         inner = stream_name_template(node.value)
@@ -54,8 +93,8 @@ def stream_name_template(node: ast.expr) -> str | None:
             return None
         return "{" + inner.strip("{}") + "." + node.attr + "}"
     if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
-        left = stream_name_template(node.left)
-        right = stream_name_template(node.right)
+        left = stream_name_template(node.left, constants)
+        right = stream_name_template(node.right, constants)
         if left is None or right is None:
             return None
         return left + right
@@ -65,10 +104,15 @@ def stream_name_template(node: ast.expr) -> str | None:
             if isinstance(piece, ast.Constant):
                 parts.append(str(piece.value))
             elif isinstance(piece, ast.FormattedValue):
-                inner = stream_name_template(piece.value)
+                inner = stream_name_template(piece.value, constants)
                 if inner is None:
                     return None
-                parts.append(inner if inner.startswith("{")
+                # A folded constant is already literal text; anything
+                # else stays a {placeholder}.
+                folded = (constants is not None
+                          and isinstance(piece.value, ast.Name)
+                          and piece.value.id in constants)
+                parts.append(inner if folded or inner.startswith("{")
                              else "{" + inner + "}")
             else:
                 return None
@@ -83,6 +127,7 @@ def iter_stream_calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str | None]]
     resolvable. Calls with the wrong arity are reported as unresolvable
     (empty-argument registries cannot name a stream).
     """
+    constants = module_constants(ctx.tree)
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -93,7 +138,7 @@ def iter_stream_calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str | None]]
         if len(node.args) != 1 or node.keywords:
             yield node, None
             continue
-        yield node, stream_name_template(node.args[0])
+        yield node, stream_name_template(node.args[0], constants)
 
 
 class RngStreamRule(Rule):

@@ -14,6 +14,7 @@ from repro.client.device import Device
 from repro.client.timeline import (KIND_APP, KIND_APP_STREAM, KIND_SLOT,
                                     KIND_SLOT_START, ClientTimeline)
 from repro.exchange.marketplace import Exchange
+from repro.faults.injector import FaultInjector
 from repro.metrics.energy import aggregate_devices
 from repro.metrics.outcomes import RealtimeOutcome
 from repro.obs.runtime import current_obs
@@ -25,12 +26,16 @@ from repro.workloads.appstore import AppProfile
 def run_realtime(timelines: dict[str, ClientTimeline],
                  apps: Sequence[AppProfile],
                  profile: RadioProfile | dict[str, RadioProfile],
-                 exchange: Exchange, start: float, end: float
+                 exchange: Exchange, start: float, end: float,
+                 injector: FaultInjector | None = None
                  ) -> RealtimeOutcome:
     """Replay ``[start, end)`` of every timeline under real-time serving.
 
     ``profile`` is one radio profile for everyone, or a per-user map
-    (mixed 3G/LTE/WiFi populations).
+    (mixed 3G/LTE/WiFi populations). ``injector`` (optional) subjects
+    every per-slot fetch to fault injection: a blocked attempt is an
+    unfilled slot that still charged the radio for the failed request —
+    real-time serving has no cache to fall back on.
     """
     if end <= start:
         raise ValueError("empty simulation window")
@@ -48,9 +53,18 @@ def run_realtime(timelines: dict[str, ClientTimeline],
                         else profile)
         device = Device(uid, user_profile)
         devices.append(device)
+        faults = injector.for_user(uid) if injector is not None else None
         times, kinds, payload = timeline.window(start, end)
         for t, kind, p in zip(times, kinds, payload):
+            if faults is not None and faults.dark(float(t)):
+                break  # device churned away: no further events
             if kind == KIND_SLOT or kind == KIND_SLOT_START:
+                if faults is not None and not faults.attempt(float(t)):
+                    unfilled += 1
+                    nbytes = faults.plan.failed_attempt_bytes
+                    if nbytes:
+                        device.ad_fetch(float(t), nbytes)
+                    continue
                 app = apps[int(p)]
                 sale = exchange.sell_now(float(t), category=app.category,
                                          platform=timeline.platform)

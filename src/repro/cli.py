@@ -20,6 +20,9 @@ metrics, wall-clock profile), and ``--trace`` additionally records the
 sim-time trace (JSONL plus a Chrome ``trace_event`` export loadable in
 Perfetto; implies ``--metrics-out`` defaulting to ``./obs-runs``).
 ``--verbose`` turns on the shared :mod:`repro.obs.log` diagnostics.
+``run``, ``headline``, and ``report`` also accept ``--faults plan.json``
+to inject deterministic faults (see :mod:`repro.faults`); results stay
+bit-identical at any ``--jobs`` for any plan.
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -52,6 +55,14 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for shard execution "
                              "(results identical at any value)")
+
+
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="fault-injection plan (JSON; see "
+                             "repro.faults.FaultPlan). Omitted or empty "
+                             "== no faults, bit-identical to a run "
+                             "without the subsystem")
 
 
 #: Default artifact directory when ``--trace`` is given bare.
@@ -92,12 +103,18 @@ def _install_obs_options(args: argparse.Namespace) -> None:
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    from repro.faults.plan import FaultPlan
+
+    plan_path = getattr(args, "faults", None)
+    faults = (FaultPlan.from_json_file(plan_path)
+              if plan_path is not None else FaultPlan())
     return ExperimentConfig(
         n_users=args.users,
         n_days=args.days,
         train_days=args.train_days,
         seed=args.seed,
         radio=args.radio,
+        faults=faults,
     )
 
 
@@ -197,12 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=experiment_ids() + ["all"])
     _add_world_args(p_run)
     _add_jobs_arg(p_run)
+    _add_faults_arg(p_run)
     _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_head = sub.add_parser("headline", help="reproduce the abstract claim")
     _add_world_args(p_head)
     _add_jobs_arg(p_head)
+    _add_faults_arg(p_head)
     _add_obs_args(p_head)
     p_head.set_defaults(func=_cmd_headline)
 
@@ -213,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated experiment ids")
     _add_world_args(p_report)
     _add_jobs_arg(p_report)
+    _add_faults_arg(p_report)
     _add_obs_args(p_report)
     p_report.set_defaults(func=_cmd_report)
 

@@ -27,10 +27,19 @@ class Device:
         self.ad_bytes = 0
         self.app_bytes = 0
 
-    def ad_fetch(self, now: float, nbytes: int) -> TransferRecord:
-        """Download ad payload (a creative, a prefetch batch, a sync)."""
+    def ad_fetch(self, now: float, nbytes: int,
+                 extra_s: float = 0.0) -> TransferRecord:
+        """Download ad payload (a creative, a prefetch batch, a sync).
+
+        ``extra_s`` extends the active-radio time beyond the throughput
+        model — used by fault injection to charge honest energy for
+        inflated sync latency (the radio stays up while the response
+        dribbles in).
+        """
         self.ad_bytes += nbytes
-        return self.radio.transfer(now, nbytes, TAG_AD)
+        duration = (self.radio.profile.transfer_time(nbytes) + extra_s
+                    if extra_s > 0.0 else None)
+        return self.radio.transfer(now, nbytes, TAG_AD, duration=duration)
 
     def app_request(self, now: float, nbytes: int) -> TransferRecord:
         """One app-originated request/response pair."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.faults.injector import UserFaults
 from repro.obs.runtime import current_obs
 from repro.workloads.appstore import AppProfile
 
@@ -49,7 +50,8 @@ class AdClient:
     def __init__(self, timeline: ClientTimeline, device: Device,
                  apps: Sequence[AppProfile],
                  report_delay_s: float = 900.0,
-                 report_bytes: int = 200) -> None:
+                 report_bytes: int = 200,
+                 faults: UserFaults | None = None) -> None:
         self.timeline = timeline
         self.device = device
         self.apps = list(apps)
@@ -57,7 +59,12 @@ class AdClient:
         self.stats = ClientStats()
         self.report_delay_s = report_delay_s
         self.report_bytes = report_bytes
+        self.faults = faults
         self._pending_reports: list[tuple[int, float]] = []
+        # Sync retry state (reset per epoch): failed attempts so far and
+        # the earliest time the next backoff retry may fire.
+        self._sync_attempts = 0
+        self._sync_retry_at: float | None = None
         obs = current_obs()
         self._recorder = obs.recorder
         self._sync_counter = obs.metrics.counter("client.syncs")
@@ -66,6 +73,13 @@ class AdClient:
         self._display_counters = {
             outcome: obs.metrics.counter(f"client.displays.{outcome}")
             for outcome in ("cached", "rescued", "fallback", "house")}
+        # Resilience instruments exist only on faulty runs so fault-free
+        # metrics snapshots stay byte-identical to pre-fault builds.
+        if faults is not None:
+            self._retry_counter = obs.metrics.counter("sdk.retries")
+            self._sync_failures = obs.metrics.counter("sdk.sync_failures")
+            self._beacon_failures = obs.metrics.counter("sdk.beacon_failures")
+            self._backoff_hist = obs.metrics.histogram("sdk.backoff_wait_s")
 
     @property
     def user_id(self) -> str:
@@ -79,38 +93,88 @@ class AdClient:
         """
         times, kinds, payload = self.timeline.window(start, end)
         synced = False
+        self._sync_attempts = 0
+        self._sync_retry_at = None
+        dark = False
         for t, kind, p in zip(times, kinds, payload):
+            if self.faults is not None and self.faults.dark(float(t)):
+                dark = True  # device churned away: no further events
+                break
             if kind == KIND_SLOT or kind == KIND_SLOT_START:
                 if not synced:
-                    self._sync(float(t), server)
-                    synced = True
+                    if self._sync_due(float(t)):
+                        synced = self._attempt_sync(float(t), server)
                 elif kind == KIND_SLOT_START and (len(self.queue)
                                                   or self._pending_reports):
                     # App launch mid-epoch: check in so stale replicas
                     # are invalidated before this session displays them
                     # (and pending deliveries arrive early).
-                    self._sync(float(t), server)
+                    self._attempt_sync(float(t), server)
                 self._serve_slot(float(t), int(p), server)
                 self._maybe_beacon(float(t), server)
             elif kind == KIND_APP:
                 self.device.app_request(float(t), int(p))
-                self._flush_reports(float(t), server)  # piggyback, radio warm
+                self._piggyback_reports(float(t), server)  # radio warm
             elif kind == KIND_APP_STREAM:
                 self.device.app_streaming(float(t), float(p))
-                self._flush_reports(float(t), server)  # piggyback, radio warm
+                self._piggyback_reports(float(t), server)  # radio warm
             else:  # pragma: no cover - timeline compiler emits only 4 kinds
                 raise ValueError(f"unknown event kind {kind}")
-        if times.size:
+        if times.size and not dark:
             self.flush_overdue(float(times[-1]), end, server)
+
+    def _sync_due(self, now: float) -> bool:
+        """Is a (re)sync attempt allowed at ``now`` this epoch?
+
+        The first attempt is always due; after a failure, the next
+        attempt waits out its exponential backoff and the whole epoch
+        gives up once the retry budget is spent.
+        """
+        if self._sync_attempts == 0:
+            return True
+        return self._sync_retry_at is not None and now >= self._sync_retry_at
+
+    def _attempt_sync(self, now: float, server) -> bool:
+        """One gated sync attempt; schedules a backoff retry on failure.
+
+        A lost attempt still cost a radio transfer (the request went
+        out), charged at the plan's ``failed_attempt_bytes``; the
+        pending impression reports stay queued for the retry — the
+        deferred-report queue.
+        """
+        faults = self.faults
+        if faults is not None and self._sync_attempts > 0:
+            self._retry_counter.inc()
+        if faults is None or faults.attempt(now):
+            self._sync(now, server)
+            self._sync_retry_at = None
+            return True
+        self._sync_failures.inc()
+        plan = faults.plan
+        if plan.failed_attempt_bytes:
+            self.device.ad_fetch(now, plan.failed_attempt_bytes)
+        self._sync_attempts += 1
+        if self._sync_attempts <= plan.max_retries:
+            wait = faults.backoff_wait(self._sync_attempts)
+            self._backoff_hist.observe(wait)
+            self._sync_retry_at = now + wait
+        else:
+            self._sync_retry_at = None  # retry budget exhausted this epoch
+        return False
 
     def _sync(self, now: float, server) -> None:
         """Check in: report, reconcile, download the new batch."""
         response = server.sync(self.user_id, now, self._pending_reports)
         self._pending_reports = []
+        delay = self.faults.sync_delay() if self.faults is not None else 0.0
+        arrival = now + delay
         self.queue.invalidate(response.invalidated_ids)
-        self.queue.drop_expired(now)
+        # Merge before expiring: ads that are already past (or reach)
+        # their deadline by the time the download lands must be counted
+        # as deadline losses, not silently skipped.
         self.queue.install(response.assignments)
-        self.device.ad_fetch(now, response.nbytes)
+        self.queue.drop_expired(arrival)
+        self.device.ad_fetch(now, response.nbytes, extra_s=delay)
         self.stats.syncs += 1
         self._sync_counter.inc()
         self._sync_bytes.observe(response.nbytes)
@@ -128,6 +192,16 @@ class AdClient:
             self._pending_reports.append((sale.sale_id, now))
             self.stats.cached_displays += 1
             self._display_counters["cached"].inc()
+            return
+        if self.faults is not None and not self.faults.attempt(now):
+            # Dry cache and the server is unreachable: the rescue /
+            # realtime request dies in flight. The attempt still woke
+            # the radio; the slot degrades to a house ad.
+            nbytes = self.faults.plan.failed_attempt_bytes
+            if nbytes:
+                self.device.ad_fetch(now, nbytes)
+            self.stats.house_displays += 1
+            self._display_counters["house"].inc()
             return
         # Dry cache: first try to rescue sold-but-unshown ads — this
         # client is demonstrably consuming slots right now.
@@ -163,12 +237,30 @@ class AdClient:
     def _flush_reports(self, now: float, server) -> None:
         """Hand pending impression reports to the server (free: the
         radio is already warm from the transfer we piggyback on); apply
-        any invalidations the response carries."""
+        any invalidations the response carries.
+
+        Callers must have cleared the fault gate for this contact
+        already — the flush rides a transfer that is known to have
+        reached the server."""
         if self._pending_reports:
             invalidated = server.report(self.user_id, self._pending_reports)
             self._pending_reports = []
             if invalidated:
                 self.queue.invalidate(invalidated)
+
+    def _piggyback_reports(self, now: float, server) -> None:
+        """Opportunistic report flush on app traffic (free: radio warm).
+
+        The app's own transfer succeeds regardless (app traffic is not
+        the ad system's to lose), but the piggybacked report leg still
+        crosses the ad network: under faults it can be lost, in which
+        case the reports stay queued — the deferred-report queue.
+        """
+        if not self._pending_reports:
+            return
+        if self.faults is not None and not self.faults.attempt(now):
+            return  # lost in flight: reports stay queued for later
+        self._flush_reports(now, server)
 
     def flush_overdue(self, now: float, end: float, server) -> None:
         """Fire the SDK's background report timer if it is due.
@@ -182,6 +274,8 @@ class AdClient:
         due = self._pending_reports[0][1] + self.report_delay_s
         if due < end:
             beacon_at = max(due, now)
+            if not self._beacon_attempt(beacon_at):
+                return
             self.device.ad_fetch(beacon_at, self.report_bytes)
             self._flush_reports(beacon_at, server)
             self._beacon_counter.inc()
@@ -189,6 +283,25 @@ class AdClient:
                 self._recorder.instant(beacon_at, "client", "beacon",
                                        args={"user": self.user_id,
                                              "kind": "timer"})
+
+    def _beacon_attempt(self, now: float) -> bool:
+        """Gate one impression beacon through the fault injector.
+
+        A dark device costs nothing (it is off); a lost beacon still
+        charged the radio for the failed request and keeps its reports
+        queued for the next contact — the deferred-report queue.
+        """
+        if self.faults is None:
+            return True
+        if self.faults.dark(now):
+            return False
+        if self.faults.attempt(now):
+            return True
+        nbytes = self.faults.plan.failed_attempt_bytes
+        if nbytes:
+            self.device.ad_fetch(now, nbytes)
+        self._beacon_failures.inc()
+        return False
 
     def _maybe_beacon(self, now: float, server) -> None:
         """Flush reports with a dedicated beacon once they grow stale.
@@ -202,6 +315,8 @@ class AdClient:
             return
         oldest = self._pending_reports[0][1]
         if now - oldest >= self.report_delay_s:
+            if not self._beacon_attempt(now):
+                return
             self.device.ad_fetch(now, self.report_bytes)
             self._flush_reports(now, server)
             self._beacon_counter.inc()

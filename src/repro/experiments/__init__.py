@@ -6,10 +6,9 @@ from .harness import (
     World,
     clear_world_cache,
     get_world,
-    run_headline,
-    run_prefetch,
     run_prefetch_instrumented,
-    run_realtime,
+    run_prefetch_shard,
+    run_realtime_shard,
 )
 from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
 
@@ -22,10 +21,9 @@ __all__ = [
     "PrefetchArtifacts",
     "get_world",
     "clear_world_cache",
-    "run_prefetch",
     "run_prefetch_instrumented",
-    "run_realtime",
-    "run_headline",
+    "run_prefetch_shard",
+    "run_realtime_shard",
     "EXPERIMENTS",
     "Experiment",
     "experiment_ids",

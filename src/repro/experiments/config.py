@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.exchange.auction import AuctionConfig
 from repro.exchange.campaign import CampaignPoolConfig
+from repro.faults.plan import FaultPlan
 from repro.prediction.base import epochs_per_day
 from repro.server.adserver import ServerConfig
 from repro.workloads.population import PopulationConfig
@@ -51,8 +52,13 @@ class ExperimentConfig:
     fallback: str = "realtime"
     capacity_factor: float = 3.0
     capacity_slack: int = 8
+    presumed_dark_after_s: float | None = None
     # Marketplace.
     n_campaigns: int = 300
+    # Fault injection (repro.faults): empty plan == no faults, and the
+    # run is bit-identical to one without the subsystem. Never part of
+    # world_key(): faults perturb serving, not the generated trace.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         if self.train_days <= 0 or self.train_days >= self.n_days:
@@ -77,6 +83,7 @@ class ExperimentConfig:
             report_delay_s=self.report_delay_s,
             capacity_factor=self.capacity_factor,
             capacity_slack=self.capacity_slack,
+            presumed_dark_after_s=self.presumed_dark_after_s,
             fallback=self.fallback,
         )
 

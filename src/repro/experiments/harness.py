@@ -10,12 +10,18 @@ through :mod:`repro.metrics.accumulators`.
 Public entry points:
 
 * :class:`repro.runner.Runner` — the supported API for full runs.
-* :func:`run_prefetch` / :func:`run_realtime` / :func:`run_headline` —
-  deprecated thin wrappers kept for backward compatibility; they run
-  the whole population as a single shard, which reproduces the
-  historical serial results bit for bit.
-* :func:`run_prefetch_instrumented` — like ``run_prefetch`` but returns
-  devices/clients/server for introspection (experiments E12, tests).
+* :func:`run_prefetch_shard` / :func:`run_realtime_shard` — the
+  single-shard cores (whole population == one shard with an empty
+  ``rng_tag``).
+* :func:`run_prefetch_instrumented` — whole-population prefetch run
+  that also returns devices/clients/server for introspection
+  (experiments E12, tests).
+
+When the configuration carries a non-empty :class:`repro.faults.plan.
+FaultPlan`, both cores build a :class:`repro.faults.FaultInjector` and
+thread per-user fault decisions through the clients (and the baseline's
+per-slot fetches); scheduled server blackouts turn planning epochs into
+:meth:`~repro.server.adserver.AdServer.degraded_epoch` records.
 
 Worlds are cached per configuration key (see
 :class:`repro.runner.WorldCache`) so parameter sweeps that only touch
@@ -24,7 +30,6 @@ the serving side re-use the same trace.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -37,6 +42,7 @@ from repro.client.timeline import ClientTimeline, compile_timeline
 from repro.core.overbooking import make_policy
 from repro.exchange.campaign import build_campaigns
 from repro.exchange.marketplace import Exchange
+from repro.faults.injector import make_injector
 from repro.metrics.energy import aggregate_devices
 from repro.metrics.outcomes import (
     Comparison,
@@ -199,9 +205,12 @@ def run_prefetch_shard(config: ExperimentConfig,
     devices = {uid: Device(uid, profile_of[uid],
                            keep_timeline=keep_radio_timeline)
                for uid in timelines}
+    injector = make_injector(config.faults, config.seed, horizon)
     clients = {
         uid: AdClient(timelines[uid], devices[uid], apps,
-                      report_delay_s=config.report_delay_s)
+                      report_delay_s=config.report_delay_s,
+                      faults=(injector.for_user(uid)
+                              if injector is not None else None))
         for uid in timelines
     }
 
@@ -213,7 +222,14 @@ def run_prefetch_shard(config: ExperimentConfig,
         if obs_recorder.enabled:
             obs_recorder.complete(now, window_end - now, "server", "epoch",
                                   args={"epoch": epoch})
-        server.plan_epoch(epoch, now)
+        server_down = injector is not None and injector.server_down(now)
+        if server_down:
+            # Scheduled blackout at planning time: nothing is sold or
+            # dispatched; clients keep serving from their caches and
+            # their contact attempts fail at the injector.
+            server.degraded_epoch(epoch, now)
+        else:
+            server.plan_epoch(epoch, now)
         # Clients sync at their first slot; process in sync-time order so
         # cross-client report visibility is chronological.
         schedule: list[tuple[float, str]] = []
@@ -234,8 +250,11 @@ def run_prefetch_shard(config: ExperimentConfig,
         for uid, client in clients.items():
             if uid not in scheduled:
                 client.flush_overdue(now, window_end, server)
-        server.observe_epoch(epoch, {uid: int(counts[uid][epoch])
-                                     for uid in counts})
+        if not server_down:
+            # Actuals ride client sync payloads; during a blackout the
+            # server learns nothing about the finished epoch.
+            server.observe_epoch(epoch, {uid: int(counts[uid][epoch])
+                                         for uid in counts})
 
     wakeups_counter = obs.metrics.counter("radio.wakeups")
     for device in devices.values():
@@ -276,8 +295,10 @@ def run_realtime_shard(config: ExperimentConfig,
                                rng_tag, component="realtime.exchange")
     per_day = epochs_per_day(config.epoch_s)
     start = config.train_days * per_day * config.epoch_s
+    injector = make_injector(config.faults, config.seed, horizon)
     return _run_realtime_engine(dict(timelines), apps, dict(profile_of),
-                                exchange, start, horizon)
+                                exchange, start, horizon,
+                                injector=injector)
 
 
 def run_prefetch_instrumented(config: ExperimentConfig,
@@ -294,55 +315,9 @@ def run_prefetch_instrumented(config: ExperimentConfig,
 
 def _headline(config: ExperimentConfig,
               world: World | None = None) -> Comparison:
-    """Internal non-deprecated whole-population headline comparison."""
+    """Internal whole-population headline comparison (single shard)."""
     world = world or get_world(config)
     prefetch = run_prefetch_instrumented(config, world).outcome
     realtime = run_realtime_shard(config, world.apps, world.timelines,
                                   world.profile_of, world.trace.horizon)
     return compare(prefetch, realtime)
-
-
-_DEPRECATION_TEMPLATE = (
-    "repro.experiments.harness.{name}() is deprecated; use "
-    "repro.Runner(config).run({system!r}) instead")
-
-
-def _warn_deprecated(name: str, system: str) -> None:
-    """Emit the legacy-wrapper :class:`DeprecationWarning`."""
-    warnings.warn(_DEPRECATION_TEMPLATE.format(name=name, system=system),
-                  DeprecationWarning, stacklevel=3)
-
-
-def run_prefetch(config: ExperimentConfig,
-                 world: World | None = None) -> PrefetchOutcome:
-    """Run the full prefetch system over the test window.
-
-    .. deprecated:: 1.1
-       Use ``repro.Runner(config).run("prefetch")``.
-    """
-    _warn_deprecated("run_prefetch", "prefetch")
-    return run_prefetch_instrumented(config, world).outcome
-
-
-def run_realtime(config: ExperimentConfig,
-                 world: World | None = None) -> RealtimeOutcome:
-    """Run the status-quo baseline over the same test window.
-
-    .. deprecated:: 1.1
-       Use ``repro.Runner(config).run("realtime")``.
-    """
-    _warn_deprecated("run_realtime", "realtime")
-    world = world or get_world(config)
-    return run_realtime_shard(config, world.apps, world.timelines,
-                              world.profile_of, world.trace.horizon)
-
-
-def run_headline(config: ExperimentConfig,
-                 world: World | None = None) -> Comparison:
-    """Prefetch vs real-time on the identical trace (experiment E9).
-
-    .. deprecated:: 1.1
-       Use ``repro.Runner(config).run("headline")``.
-    """
-    _warn_deprecated("run_headline", "headline")
-    return _headline(config, world)

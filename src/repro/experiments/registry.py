@@ -17,6 +17,7 @@ from .e9_headline import run_e9
 from .e10_dispatch import run_e10
 from .e11_predictor import run_e11
 from .e12_radio_activity import run_e12
+from .e13_faults import run_e13
 from .x1_radio_mix import run_x1
 from .x2_fast_dormancy import run_x2
 
@@ -66,6 +67,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                       accepts_jobs=True),
     "e12": Experiment("e12", "Fig (radio)", "radio wakeups & residency",
                       run_e12),
+    "e13": Experiment("e13", "Extension", "fault injection & resilience",
+                      run_e13, accepts_jobs=True),
     "x1": Experiment("x1", "Extension", "radio-technology sensitivity",
                      run_x1, accepts_jobs=True),
     "x2": Experiment("x2", "Extension", "prefetching vs fast dormancy",

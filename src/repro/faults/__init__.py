@@ -1,0 +1,25 @@
+"""repro.faults — deterministic fault injection for the ad stack.
+
+The paper's overbooking scheme exists because mobile connectivity is
+unreliable; this package supplies the unreliability. A
+:class:`FaultPlan` declares *what breaks* (transfer loss, connectivity
+outages, server blackouts, sync latency inflation, device churn) and a
+:class:`FaultInjector` decides *when*, drawing every decision from
+per-user named RNG streams so fault runs stay bit-identical across
+``--jobs`` and shard counts.
+
+The empty plan is inert: :func:`make_injector` returns ``None`` and the
+stack behaves exactly as if this package did not exist.
+
+See DESIGN.md §9 for the fault model & resilience contract.
+"""
+
+from .injector import FaultInjector, UserFaults, make_injector
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "UserFaults",
+    "make_injector",
+]

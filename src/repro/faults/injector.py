@@ -1,0 +1,222 @@
+"""Deterministic fault injectors: the "when does it break" half.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete failure decisions. Determinism is structural, not
+incidental:
+
+* Every stochastic decision draws from a **per-user** named stream
+  (``faults.loss:{uid}``, ``faults.outage:{uid}``, …) created through
+  :class:`repro.sim.rng.RngRegistry`. A user's fault history therefore
+  depends only on ``(plan, master seed, user id)`` — never on shard
+  layout, worker count, or the presence of other users — which is what
+  makes fault runs bit-identical at any ``--jobs`` *and* any shard
+  count.
+* Outage windows and the churn dark-time are **precomputed** from their
+  streams at :meth:`FaultInjector.for_user` time; only per-transfer loss
+  and per-sync latency/backoff draw lazily, in the user's own event
+  order.
+* Scheduled server blackouts come straight from the plan (no RNG).
+
+:func:`make_injector` returns ``None`` for an empty plan so the fault
+path stays structurally absent — zero extra draws, zero extra
+instruments — and fault-free runs reproduce pre-fault results bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.obs.runtime import current_obs
+from repro.sim.rng import RngRegistry
+from repro.traces.schema import SECONDS_PER_DAY
+
+from .plan import FaultPlan
+
+# RNG stream-name prefixes (RPR002: resolved into analysis/streams.json;
+# each is completed with ":{uid}" so every user owns independent
+# streams).
+STREAM_LOSS = "faults.loss"
+STREAM_OUTAGE = "faults.outage"
+STREAM_CHURN = "faults.churn"
+STREAM_LATENCY = "faults.latency"
+STREAM_BACKOFF = "faults.backoff"
+
+
+class UserFaults:
+    """Fault decisions for one user, in that user's event order.
+
+    Built by :meth:`FaultInjector.for_user`; owned by that user's SDK
+    (or baseline loop) for the whole run.
+    """
+
+    __slots__ = ("_plan", "_loss_rng", "_latency_rng", "_backoff_rng",
+                 "_outage_starts", "_outage_ends", "dark_from", "_injector")
+
+    def __init__(self, plan: FaultPlan, injector: "FaultInjector",
+                 loss_rng: np.random.Generator,
+                 latency_rng: np.random.Generator,
+                 backoff_rng: np.random.Generator,
+                 outage_windows: list[tuple[float, float]],
+                 dark_from: float) -> None:
+        self._plan = plan
+        self._injector = injector
+        self._loss_rng = loss_rng
+        self._latency_rng = latency_rng
+        self._backoff_rng = backoff_rng
+        self._outage_starts = [w[0] for w in outage_windows]
+        self._outage_ends = [w[1] for w in outage_windows]
+        #: Sim time at which this device goes permanently dark
+        #: (``inf`` when the user never churns).
+        self.dark_from = dark_from
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The fault plan these decisions are drawn from."""
+        return self._plan
+
+    def dark(self, now: float) -> bool:
+        """True once the device has churned away (permanently dark)."""
+        return now >= self.dark_from
+
+    def in_outage(self, now: float) -> bool:
+        """True while ``now`` falls inside a connectivity outage window."""
+        index = bisect_right(self._outage_starts, now) - 1
+        return index >= 0 and now < self._outage_ends[index]
+
+    def attempt(self, now: float) -> bool:
+        """Decide one transfer attempt at ``now``; True means it succeeds.
+
+        Checks the deterministic blockers first (churn, outage window,
+        scheduled server blackout) and only then spends a loss draw, so
+        the per-user loss stream advances exactly once per *attempted*
+        transfer regardless of how the surrounding code is sharded.
+        """
+        if self.dark(now):
+            self._injector.count("churn")
+            return False
+        if self.in_outage(now):
+            self._injector.count("outage")
+            return False
+        if self._injector.server_down(now):
+            self._injector.count("server_down")
+            return False
+        if self._plan.loss_prob > 0.0:
+            if self._loss_rng.random() < self._plan.loss_prob:
+                self._injector.count("loss")
+                return False
+        return True
+
+    def sync_delay(self) -> float:
+        """Extra latency (s) inflicted on one successful sync download."""
+        if self._plan.latency_mean_s <= 0.0:
+            return 0.0
+        delay = float(self._latency_rng.exponential(self._plan.latency_mean_s))
+        self._injector.observe_sync_delay(delay)
+        return delay
+
+    def backoff_wait(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): capped exponential
+        growth with multiplicative jitter from the user's backoff stream.
+        """
+        base = self._plan.backoff_base_s * (2.0 ** (attempt - 1))
+        jitter = 1.0 + self._plan.backoff_jitter * float(
+            self._backoff_rng.random())
+        return min(base * jitter, self._plan.backoff_cap_s)
+
+
+class FaultInjector:
+    """Factory for per-user fault decisions plus plan-level blackouts."""
+
+    def __init__(self, plan: FaultPlan, seed: int, horizon: float) -> None:
+        if plan.is_empty:
+            raise ValueError(
+                "FaultInjector requires a non-empty plan; use "
+                "make_injector() which returns None for empty plans")
+        self.plan = plan
+        self.horizon = float(horizon)
+        self._registry = RngRegistry(seed)
+        obs = current_obs()
+        self._recorder = obs.recorder
+        self._injected = obs.metrics.counter("faults.injected")
+        self._by_kind = {
+            kind: obs.metrics.counter(f"faults.{kind}")
+            for kind in ("loss", "outage", "server_down", "churn")}
+        self._delay_hist = obs.metrics.histogram("faults.sync_delay_s")
+
+    def for_user(self, user_id: str) -> UserFaults:
+        """Build the fault decisions for one user (streams + precompute)."""
+        plan = self.plan
+        registry = self._registry
+        outage_windows: list[tuple[float, float]] = []
+        if plan.outage_rate_per_day > 0.0:
+            outage_rng = registry.fresh(f"{STREAM_OUTAGE}:{user_id}")
+            duration_mean = plan.outage_duration_s
+            gap_mean = max(
+                SECONDS_PER_DAY / plan.outage_rate_per_day - duration_mean,
+                duration_mean)
+            cursor = 0.0
+            while True:
+                cursor += float(outage_rng.exponential(gap_mean))
+                if cursor >= self.horizon:
+                    break
+                duration = float(outage_rng.exponential(duration_mean))
+                outage_windows.append((cursor, cursor + duration))
+                cursor += duration
+        dark_from = float("inf")
+        if plan.churn_prob > 0.0:
+            churn_rng = registry.fresh(f"{STREAM_CHURN}:{user_id}")
+            churned = float(churn_rng.random()) < plan.churn_prob
+            dark_at = float(churn_rng.uniform(0.0, self.horizon))
+            if churned:
+                dark_from = dark_at
+        return UserFaults(
+            plan, self,
+            loss_rng=registry.fresh(f"{STREAM_LOSS}:{user_id}"),
+            latency_rng=registry.fresh(f"{STREAM_LATENCY}:{user_id}"),
+            backoff_rng=registry.fresh(f"{STREAM_BACKOFF}:{user_id}"),
+            outage_windows=outage_windows,
+            dark_from=dark_from,
+        )
+
+    def server_down(self, now: float) -> bool:
+        """True while ``now`` falls inside a scheduled server blackout."""
+        for start, end in self.plan.server_outages:
+            if start <= now < end:
+                return True
+            if now < start:
+                break
+        return False
+
+    # ------------------------------------------------------------------
+    # Observability (shard-local; merged by the Runner)
+    # ------------------------------------------------------------------
+
+    def count(self, kind: str) -> None:
+        """Record one injected fault of ``kind``."""
+        self._injected.inc()
+        self._by_kind[kind].inc()
+
+    def observe_sync_delay(self, delay_s: float) -> None:
+        self._delay_hist.observe(delay_s)
+
+    def instant(self, now: float, name: str, **args: object) -> None:
+        """Emit a trace instant on the ``faults`` track (if tracing)."""
+        if self._recorder.enabled:
+            self._recorder.instant(now, "faults", name, args=dict(args))
+
+
+def make_injector(plan: FaultPlan | None, seed: int,
+                  horizon: float) -> FaultInjector | None:
+    """Build an injector, or ``None`` when the plan cannot ever fire.
+
+    Returning ``None`` (rather than a no-op injector) keeps fault-free
+    runs structurally identical to pre-fault builds: no streams are
+    created and no ``faults.*`` instruments appear in the metrics
+    snapshot.
+    """
+    if plan is None or plan.is_empty:
+        return None
+    return FaultInjector(plan, seed, horizon)

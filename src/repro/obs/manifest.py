@@ -27,8 +27,13 @@ MANIFEST_FILENAME = "manifest.json"
 
 
 def config_jsonable(config: "ExperimentConfig") -> dict[str, object]:
-    """The config as a plain-JSON dict (stable field order)."""
-    raw = dataclasses.asdict(config)
+    """The config as a plain-JSON dict (stable field order).
+
+    Round-trips through ``json`` so nested tuples (e.g. the fault
+    plan's ``server_outages``) normalise to lists — a manifest read
+    back from disk compares equal to the one that was written.
+    """
+    raw = json.loads(json.dumps(dataclasses.asdict(config), default=str))
     return {name: raw[name] for name in sorted(raw)}
 
 
@@ -74,6 +79,10 @@ class RunManifest:
     elapsed_s: float
     counter_totals: dict[str, float] = dataclasses.field(default_factory=dict)
     rng_stream_manifest_hash: str | None = None
+    #: sha256 of the fault plan (``FaultPlan.digest()``); ``None`` for a
+    #: fault-free run. Two runs are comparable exactly when their
+    #: (config_hash, seed, fault_plan_hash) triples agree.
+    fault_plan_hash: str | None = None
     config: dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
@@ -89,6 +98,7 @@ class RunManifest:
             "trace_enabled": self.trace_enabled,
             "elapsed_s": self.elapsed_s,
             "rng_stream_manifest_hash": self.rng_stream_manifest_hash,
+            "fault_plan_hash": self.fault_plan_hash,
             "counter_totals": {name: self.counter_totals[name]
                                for name in sorted(self.counter_totals)},
             "config": self.config,
@@ -110,6 +120,7 @@ class RunManifest:
                   if isinstance(totals_raw, dict) else {})
         config_raw = payload.get("config", {})
         streams_raw = payload.get("rng_stream_manifest_hash")
+        faults_raw = payload.get("fault_plan_hash")
         return cls(
             system=str(payload.get("system", "")),
             seed=_i("seed"),
@@ -122,6 +133,8 @@ class RunManifest:
             rng_stream_manifest_hash=(str(streams_raw)
                                       if isinstance(streams_raw, str)
                                       else None),
+            fault_plan_hash=(str(faults_raw)
+                             if isinstance(faults_raw, str) else None),
             config=dict(config_raw) if isinstance(config_raw, dict) else {},
             schema_version=_i("schema_version", MANIFEST_SCHEMA_VERSION),
         )
@@ -159,5 +172,7 @@ def build_manifest(config: "ExperimentConfig", *, system: str,
         elapsed_s=elapsed_s,
         counter_totals=dict(counter_totals or {}),
         rng_stream_manifest_hash=streams_manifest_hash(),
+        fault_plan_hash=(config.faults.digest()
+                         if not config.faults.is_empty else None),
         config=config_jsonable(config),
     )

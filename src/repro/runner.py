@@ -17,9 +17,8 @@ Determinism contract
 * Each shard's RNG streams are namespaced by shard index and shard
   count (``"exchange-prefetch#shard3/8"``), so a shard's draws do not
   depend on worker scheduling or on which process ran it.
-* With a single shard the historical stream names are used, so the
-  deprecated ``run_prefetch``/``run_realtime``/``run_headline`` wrappers
-  reproduce the pre-sharding serial results exactly.
+* With a single shard the historical stream names are used, so a
+  ``shards=1`` run reproduces the pre-sharding serial results exactly.
 
 Changing the *shard count* is a semantic knob, not merely an execution
 knob: each shard sells its own predicted inventory into a shard-local

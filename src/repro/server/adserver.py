@@ -54,11 +54,16 @@ class ServerConfig:
                                         # (defaults to one epoch)
     rescue_horizon_s: float | None = None  # rescue window before deadline
                                            # (defaults to one epoch)
+    presumed_dark_after_s: float | None = None  # contact-staleness rescue
+                                                # threshold (None disables)
     fallback: str = "realtime"       # cache-miss policy: realtime | house
 
     def __post_init__(self) -> None:
         if self.epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
+        if (self.presumed_dark_after_s is not None
+                and self.presumed_dark_after_s <= 0):
+            raise ValueError("presumed_dark_after_s must be positive")
         if self.deadline_s < self.epoch_s:
             raise ValueError("deadline_s must be >= epoch_s "
                              "(sell more often for shorter deadlines)")
@@ -149,11 +154,15 @@ class AdServer:
         self.display_log = DisplayLog()
         self.shown_set: set[int] = set()      # known via reports only
         self.all_sales: list[Sale] = []
+        self._sales_by_id: dict[int, Sale] = {}
         self._sale_owners: dict[int, set[str]] = {}
         self._at_risk: list[tuple[float, int, Sale]] = []  # (deadline,) heap
         self._last_contact: dict[str, float] = {}
         self._revoked: dict[str, set[int]] = {}
         self.rescues = 0
+        self.presumed_dark = 0
+        self.redispatched = 0
+        self.degraded_epochs = 0
         self.plan_stats: list[EpochPlanStats] = []
         # Fallback accounting.
         self.fallback_billed = 0.0
@@ -171,6 +180,15 @@ class AdServer:
         self._unfilled_counter = obs.metrics.counter("server.fallback.unfilled")
         self._replication_hist = obs.metrics.histogram(
             "server.plan.replication")
+        # Resilience instruments exist only when the feature is enabled
+        # so fault-free metrics snapshots stay identical to pre-fault
+        # builds.
+        if config.presumed_dark_after_s is not None:
+            self._presumed_dark_counter = obs.metrics.counter(
+                "server.presumed_dark")
+            self._redispatch_counter = obs.metrics.counter(
+                "server.redispatched")
+        self._degraded_counter = None
 
     # ------------------------------------------------------------------
     # Model training / updates
@@ -207,6 +225,9 @@ class AdServer:
 
     def plan_epoch(self, epoch_index: int, now: float) -> EpochPlanStats:
         """Sell the predicted inventory and plan its dispatch."""
+        dark: set[str] = set()
+        if self.config.presumed_dark_after_s is not None:
+            dark = self._rescue_presumed_dark(now)
         forecasts: list[ClientForecast] = []
         total_predicted = 0.0
         for uid, state in self._clients.items():
@@ -215,7 +236,9 @@ class AdServer:
             state.last_prediction = predicted
             total_predicted += predicted
             backlog = len(state.delivered_unshown) + len(state.pending)
-            capacity = max(
+            # Presumed-dark hosts get no new inventory until they are
+            # heard from again.
+            capacity = 0 if uid in dark else max(
                 0,
                 math.ceil(self.config.capacity_factor * predicted)
                 + self.config.capacity_slack - backlog,
@@ -228,6 +251,7 @@ class AdServer:
             now, to_sell, deadline=now + self.config.deadline_s)
         self.all_sales.extend(sales)
         for sale in sales:
+            self._sales_by_id[sale.sale_id] = sale
             heapq.heappush(self._at_risk, (sale.deadline, sale.sale_id, sale))
         plan = self.policy.plan(sales, forecasts, self._dispatch_curve,
                                 rng=self.rng,
@@ -270,6 +294,91 @@ class AdServer:
             sid: deadline for sid, deadline in state.delivered_unshown.items()
             if deadline >= now and sid not in self.shown_set
         }
+
+    def _rescue_presumed_dark(self, now: float) -> set[str]:
+        """Contact-staleness rescue: reclaim replicas from silent hosts.
+
+        A client the server has not heard from for
+        ``presumed_dark_after_s`` is presumed dark (churned, dead
+        battery, extended outage): its undelivered queue is reclaimed
+        and its delivered-but-unshown replicas are revoked (the usual
+        rescue hand-off — if the host comes back it drops its copy at
+        the next contact, before a duplicate can show). Sales left with
+        no live replica are re-dispatched round-robin onto the
+        most-recently-heard-from live clients. Returns the presumed-dark
+        user ids so the planner withholds new inventory from them.
+        """
+        threshold = now - float(self.config.presumed_dark_after_s or 0.0)
+        dark: set[str] = set()
+        orphaned: dict[int, float] = {}  # sale_id -> deadline
+        for uid, state in self._clients.items():
+            last = self._last_contact.get(uid)
+            if last is None or last >= threshold:
+                continue
+            dark.add(uid)
+            if not state.pending and not state.delivered_unshown:
+                continue  # nothing left to reclaim (already rescued)
+            self.presumed_dark += 1
+            self._presumed_dark_counter.inc()
+            reclaimed: dict[int, float] = {}
+            for assignment in state.pending:
+                reclaimed[assignment.sale_id] = assignment.sale.deadline
+            state.pending = []
+            for sid, deadline in state.delivered_unshown.items():
+                reclaimed[sid] = deadline
+                # Rescue hand-off: the host loses its copy at its next
+                # contact, before it can produce a duplicate.
+                self._revoked.setdefault(uid, set()).add(sid)
+            state.delivered_unshown = {}
+            for sid, deadline in reclaimed.items():
+                owners = self._sale_owners.get(sid)
+                if owners is not None:
+                    owners.discard(uid)
+                if sid in self.shown_set or deadline <= now:
+                    continue
+                if not owners:
+                    orphaned[sid] = deadline
+            if self._recorder.enabled:
+                self._recorder.instant(
+                    now, "server", "presumed_dark",
+                    args={"user": uid, "n_reclaimed": len(reclaimed)})
+        if not orphaned:
+            return dark
+        live = sorted(
+            (uid for uid in self._clients
+             if uid not in dark and self._last_contact.get(uid) is not None),
+            key=lambda uid: (-self._last_contact[uid], uid))
+        if not live:
+            # Every candidate host is dark: the sales stay in the
+            # at-risk heap for demand-driven rescue at the next contact.
+            return dark
+        for index, (sid, deadline) in enumerate(
+                sorted(orphaned.items(), key=lambda item: (item[1], item[0]))):
+            sale = self._sales_by_id[sid]
+            uid = live[index % len(live)]
+            target = self._clients[uid]
+            target.pending.append(Assignment(sale, active_from=now))
+            self._sale_owners.setdefault(sid, set()).add(uid)
+            self.redispatched += 1
+            self._redispatch_counter.inc()
+        return dark
+
+    def degraded_epoch(self, epoch_index: int, now: float) -> None:
+        """Record an epoch in which the server/exchange was unreachable.
+
+        No inventory is sold and nothing is dispatched; clients keep
+        serving from their prefetched queues (graceful degradation — the
+        paper's resilience argument). Every client contact in the window
+        fails at the injector, so no protocol state changes either.
+        """
+        self.degraded_epochs += 1
+        if self._degraded_counter is None:
+            self._degraded_counter = current_obs().metrics.counter(
+                "server.degraded_epochs")
+        self._degraded_counter.inc()
+        if self._recorder.enabled:
+            self._recorder.instant(now, "server", "degraded",
+                                   args={"epoch": epoch_index})
 
     # ------------------------------------------------------------------
     # Client-facing protocol

@@ -10,7 +10,7 @@ PACKAGES = [
     "repro.sim", "repro.radio", "repro.traces", "repro.workloads",
     "repro.client", "repro.prediction", "repro.exchange", "repro.server",
     "repro.core", "repro.baselines", "repro.metrics", "repro.experiments",
-    "repro.analysis", "repro.analysis.rules", "repro.obs",
+    "repro.analysis", "repro.analysis.rules", "repro.obs", "repro.faults",
 ]
 
 
@@ -51,5 +51,6 @@ def test_package_all_exports_resolve():
 
 def test_top_level_surface():
     assert repro.__version__
-    assert callable(repro.run_headline)
+    assert callable(repro.Runner)
+    assert callable(repro.FaultPlan)
     assert repro.PAPER_SCALE.n_users == 1750

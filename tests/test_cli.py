@@ -92,3 +92,33 @@ def test_headline_with_trace_writes_artifacts(tmp_path, capsys):
     for name in ("exchange.auctions.held", "server.plan.assignments",
                  "server.rescues", "client.beacons", "radio.wakeups"):
         assert name in out
+
+
+def _metric_lines(out):
+    # Drop the trailing "[N shard(s) x M worker(s), T s]" wall-clock line.
+    return [line for line in out.splitlines() if "worker(s)" not in line]
+
+
+def test_headline_with_faults_plan(tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"loss_prob": 0.3, "outage_rate_per_day": 4.0, '
+                    '"outage_duration_s": 900.0}')
+    args = ["headline", "--users", "12", "--days", "6",
+            "--train-days", "3", "--seed", "15"]
+    assert main(args) == 0
+    clean = _metric_lines(capsys.readouterr().out)
+    assert main(args + ["--faults", str(plan)]) == 0
+    faulty = _metric_lines(capsys.readouterr().out)
+    # The plan must change the numbers; omitting it must not.
+    assert faulty != clean
+    assert any("energy savings" in line for line in faulty)
+    assert main(args) == 0
+    assert _metric_lines(capsys.readouterr().out) == clean
+
+
+def test_faults_flag_rejects_bad_plan(tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"loss_prob": 7.0}')
+    with pytest.raises(ValueError):
+        main(["headline", "--users", "12", "--days", "6",
+              "--train-days", "3", "--faults", str(plan)])

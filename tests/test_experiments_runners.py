@@ -70,7 +70,7 @@ def test_e4_prediction_figure(tiny_config):
 
 def test_registry_is_complete():
     ids = experiment_ids()
-    assert ids == [f"e{i}" for i in range(1, 13)] + ["x1", "x2"]
+    assert ids == [f"e{i}" for i in range(1, 14)] + ["x1", "x2"]
     for eid in ids:
         assert EXPERIMENTS[eid].title
         assert EXPERIMENTS[eid].paper_artifact

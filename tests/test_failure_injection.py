@@ -9,12 +9,18 @@ from repro.exchange.auction import AuctionConfig
 from repro.exchange.campaign import Campaign
 from repro.exchange.marketplace import Exchange
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import get_world, run_headline, run_prefetch
+from repro.experiments.harness import get_world, run_prefetch_instrumented
 from repro.prediction.models import TimeOfDayMeanPredictor
+from repro.runner import Runner
 from repro.server.adserver import AdServer, ServerConfig
 from repro.sim.rng import RngRegistry
 
 HOUR = 3600.0
+
+
+def _headline(config, world=None):
+    """Whole-population headline comparison via the Runner API."""
+    return Runner(config, world=world).run("headline").comparison
 
 
 def test_demand_collapse_mid_run():
@@ -31,7 +37,7 @@ def test_demand_collapse_mid_run():
     try:
         ExperimentConfig.campaign_config = lambda self: CampaignPoolConfig(
             n_campaigns=6, budget_median=50.0, budget_sigma=0.2)
-        result = run_prefetch(config, world)
+        result = run_prefetch_instrumented(config, world).outcome
     finally:
         ExperimentConfig.campaign_config = original
     assert result.house_displays > 0
@@ -49,7 +55,7 @@ def test_population_with_silent_users():
     world = get_world(config)
     silent = [uid for uid, t in world.timelines.items() if len(t) == 0]
     assert silent, "seed should produce at least one silent user"
-    result = run_prefetch(config, world)
+    result = run_prefetch_instrumented(config, world).outcome
     assert result.sla.n_sales >= 0
 
 
@@ -92,15 +98,15 @@ def test_all_campaigns_platform_mismatched():
 
 def test_single_user_world_runs():
     config = ExperimentConfig(n_users=1, n_days=6, train_days=3, seed=5)
-    comparison = run_headline(config)
+    comparison = _headline(config)
     assert 0.0 <= comparison.sla_violation_rate <= 1.0
 
 
 def test_extreme_epsilon_values():
     base = ExperimentConfig(n_users=20, n_days=6, train_days=3, seed=41)
     world = get_world(base)
-    strict = run_headline(base.variant(epsilon=0.001, max_replicas=4), world)
-    loose = run_headline(base.variant(epsilon=0.9, max_replicas=4), world)
+    strict = _headline(base.variant(epsilon=0.001, max_replicas=4), world)
+    loose = _headline(base.variant(epsilon=0.9, max_replicas=4), world)
     # Stricter epsilon can only add replication.
     assert strict.prefetch.mean_replication >= loose.prefetch.mean_replication
 
@@ -108,8 +114,8 @@ def test_extreme_epsilon_values():
 def test_house_fallback_mode_loses_revenue_not_correctness():
     base = ExperimentConfig(n_users=25, n_days=6, train_days=3, seed=23)
     world = get_world(base)
-    realtime_fb = run_headline(base, world)
-    house_fb = run_headline(base.variant(fallback="house"), world)
+    realtime_fb = _headline(base, world)
+    house_fb = _headline(base.variant(fallback="house"), world)
     assert house_fb.prefetch.house_displays > 0
     assert house_fb.prefetch.fallback_displays == 0
     assert house_fb.revenue_loss > realtime_fb.revenue_loss

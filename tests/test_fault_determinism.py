@@ -1,0 +1,82 @@
+"""Acceptance properties of fault injection: parallelism invariance and
+reproducibility from ``(config, seed, plan)``, plus E13's headline claim
+at test scale."""
+
+import pytest
+
+from repro.experiments.e13_faults import plan_for, run_e13
+from repro.faults.plan import FaultPlan
+from repro.runner import Runner
+
+FAULTY_PLAN = FaultPlan(loss_prob=0.2, outage_rate_per_day=4.0,
+                        outage_duration_s=900.0,
+                        latency_mean_s=15.0, churn_prob=0.1)
+
+
+@pytest.fixture(scope="module")
+def faulty_config(tiny_config):
+    # One scheduled server blackout inside the test window.
+    start = tiny_config.train_days * 86400.0 + 2 * 3600.0
+    plan = FAULTY_PLAN.variant(server_outages=((start, start + 3600.0),))
+    return tiny_config.variant(faults=plan,
+                               presumed_dark_after_s=2 * 3600.0)
+
+
+def test_fault_runs_are_parallelism_invariant(faulty_config, tiny_world):
+    """jobs=1 vs jobs=4 on the same shard layout must be bit-identical
+    even with every fault mode firing — the tentpole acceptance."""
+    serial = Runner(faulty_config, parallelism=1, shards=4,
+                    world=tiny_world).run("headline")
+    parallel = Runner(faulty_config, parallelism=4, shards=4,
+                      world=tiny_world).run("headline")
+    assert serial.prefetch == parallel.prefetch
+    assert serial.realtime == parallel.realtime
+    assert serial.comparison == parallel.comparison
+
+
+def test_fault_runs_reproduce_from_config_seed_plan(faulty_config,
+                                                    tiny_world):
+    a = Runner(faulty_config, shards=2, world=tiny_world).run("headline")
+    b = Runner(faulty_config, shards=2, world=tiny_world).run("headline")
+    assert a.prefetch == b.prefetch
+    assert a.realtime == b.realtime
+
+
+def test_fault_plan_changes_results(tiny_config, faulty_config, tiny_world):
+    clean = Runner(tiny_config, world=tiny_world).run("prefetch").prefetch
+    faulty = Runner(faulty_config, world=tiny_world).run("prefetch").prefetch
+    assert faulty != clean
+    # Faults can only destroy value: billed revenue must not increase.
+    assert faulty.revenue.total_billed < clean.revenue.total_billed
+
+
+def test_e13_rescue_beats_realtime_under_faults(tiny_config):
+    """The committed-table acceptance at test scale: the full system's
+    SLA violation rate stays strictly below real-time's ad-miss rate at
+    every non-zero fault intensity."""
+    table = run_e13(tiny_config, intensities=(0.0, 0.2))
+    assert len(table.rows) == 6
+    realtime = table.row_for(0.2, "realtime")
+    rescue = table.row_for(0.2, "prefetch+rescue")
+    assert realtime.failure_rate > 0.0
+    assert rescue.failure_rate < realtime.failure_rate
+    # Zero intensity anchors each system's own baseline.
+    assert table.row_for(0.0, "realtime").revenue_loss == 0.0
+    assert table.row_for(0.0, "prefetch+rescue").energy_overhead == 0.0
+    rendered = table.render()
+    assert "prefetch+rescue" in rendered and "intensity" in rendered
+    with pytest.raises(KeyError):
+        table.row_for(0.99, "realtime")
+
+
+def test_plan_for_scales_with_intensity(tiny_config):
+    assert plan_for(0.0, tiny_config).is_empty
+    low, high = plan_for(0.05, tiny_config), plan_for(0.3, tiny_config)
+    assert low.loss_prob < high.loss_prob
+    assert low.churn_prob < high.churn_prob
+    assert low.server_outages and high.server_outages
+    start = tiny_config.train_days * 86400.0
+    for plan in (low, high):
+        (outage_start, outage_end), = plan.server_outages
+        assert start <= outage_start < outage_end <= \
+            tiny_config.n_days * 86400.0

@@ -9,16 +9,20 @@ import pytest
 
 from repro.experiments.harness import (
     get_world,
-    run_headline,
-    run_prefetch,
     run_prefetch_instrumented,
-    run_realtime,
+    run_realtime_shard,
 )
+from repro.runner import Runner
+
+
+def _headline(config, world):
+    """Whole-population headline comparison via the Runner API."""
+    return Runner(config, world=world).run("headline").comparison
 
 
 @pytest.fixture(scope="module")
 def headline(tiny_config, tiny_world):
-    return run_headline(tiny_config, tiny_world)
+    return _headline(tiny_config, tiny_world)
 
 
 def test_world_is_cached_and_deterministic(tiny_config):
@@ -80,13 +84,16 @@ def test_prefetch_reduces_ad_energy_not_app_energy(headline):
 
 
 def test_runs_are_deterministic(tiny_config, tiny_world):
-    a = run_prefetch(tiny_config, tiny_world)
-    b = run_prefetch(tiny_config, tiny_world)
+    a = run_prefetch_instrumented(tiny_config, tiny_world).outcome
+    b = run_prefetch_instrumented(tiny_config, tiny_world).outcome
     assert a.energy.ad_joules == pytest.approx(b.energy.ad_joules)
     assert a.sla.n_violated == b.sla.n_violated
     assert a.revenue.total_billed == pytest.approx(b.revenue.total_billed)
-    ra = run_realtime(tiny_config, tiny_world)
-    rb = run_realtime(tiny_config, tiny_world)
+    w = tiny_world
+    ra = run_realtime_shard(tiny_config, w.apps, w.timelines, w.profile_of,
+                            w.trace.horizon)
+    rb = run_realtime_shard(tiny_config, w.apps, w.timelines, w.profile_of,
+                            w.trace.horizon)
     assert ra.billed_revenue == pytest.approx(rb.billed_revenue)
 
 
@@ -105,14 +112,14 @@ def test_instrumented_run_exposes_consistent_state(tiny_config, tiny_world):
 
 def test_oracle_dominates_learned_predictor(tiny_config, tiny_world):
     from repro.baselines.presets import apply_preset
-    learned = run_headline(tiny_config, tiny_world)
-    oracle = run_headline(apply_preset("oracle", tiny_config), tiny_world)
+    learned = _headline(tiny_config, tiny_world)
+    oracle = _headline(apply_preset("oracle", tiny_config), tiny_world)
     assert oracle.energy_savings > learned.energy_savings
 
 
 def test_naive_prefetch_violates_far_more(tiny_config, tiny_world):
     from repro.baselines.presets import apply_preset
-    full = run_headline(tiny_config, tiny_world)
-    naive = run_headline(apply_preset("naive-prefetch", tiny_config),
-                         tiny_world)
+    full = _headline(tiny_config, tiny_world)
+    naive = _headline(apply_preset("naive-prefetch", tiny_config),
+                      tiny_world)
     assert naive.sla_violation_rate > 5 * full.sla_violation_rate

@@ -242,6 +242,44 @@ class TestRngStreams:
         assert template_of("f'user-{uid}'") == "user-{uid}"
         assert template_of("names.pop()") is None
 
+    def test_module_constants_fold_into_templates(self):
+        """The repro.faults idiom: stream prefixes named once at module
+        level must resolve to their literal values in the manifest."""
+        import ast
+
+        from repro.analysis.rules.rng_streams import module_constants
+
+        tree = ast.parse(textwrap.dedent("""
+            STREAM_LOSS = "faults.loss"
+            STREAM_OUTAGE: str = "faults.outage"
+            REBOUND = "first"
+            REBOUND = "second"
+            NOT_STR = 7
+
+            def build(registry, uid):
+                return registry.fresh(f"{STREAM_LOSS}:{uid}")
+            """))
+        constants = module_constants(tree)
+        assert constants == {"STREAM_LOSS": "faults.loss",
+                             "STREAM_OUTAGE": "faults.outage"}
+
+        def template_of(expr: str):
+            return stream_name_template(ast.parse(expr, mode="eval").body,
+                                        constants)
+
+        assert template_of("f'{STREAM_LOSS}:{uid}'") == "faults.loss:{uid}"
+        assert template_of("STREAM_OUTAGE") == "faults.outage"
+        assert template_of("f'{REBOUND}:{uid}'") == "{REBOUND}:{uid}"
+        assert template_of("f'{unknown}'") == "{unknown}"
+
+    def test_constant_folded_stream_call_passes_lint(self):
+        assert lint("""
+            PREFIX = "faults.loss"
+
+            def build(registry, uid):
+                return registry.fresh(f"{PREFIX}:{uid}")
+            """) == []
+
 
 # ---------------------------------------------------------------------
 # RPR003 — unit discipline

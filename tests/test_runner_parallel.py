@@ -1,13 +1,15 @@
-"""Sharded-runner API: determinism, merging, caching, deprecation."""
+"""Sharded-runner API: determinism, merging, caching."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import run_headline
+from repro.experiments.harness import (
+    run_prefetch_instrumented,
+    run_realtime_shard,
+)
+from repro.metrics.outcomes import compare
 from repro.runner import (
     Runner,
     RunResult,
@@ -77,9 +79,11 @@ def test_runner_is_deterministic_across_calls(tiny_config, shard_world):
 def test_single_shard_matches_legacy_serial_run(tiny_config, shard_world):
     """shards=1 reproduces the pre-sharding serial harness exactly."""
     result = Runner(tiny_config, shards=1, world=shard_world).run("headline")
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = run_headline(tiny_config, shard_world)
+    w = shard_world
+    prefetch = run_prefetch_instrumented(tiny_config, w).outcome
+    realtime = run_realtime_shard(tiny_config, w.apps, w.timelines,
+                                  w.profile_of, w.trace.horizon)
+    legacy = compare(prefetch, realtime)
     assert result.prefetch.energy == legacy.prefetch.energy
     assert result.prefetch.revenue == legacy.prefetch.revenue
     assert result.prefetch.sla.n_sales == legacy.prefetch.sla.n_sales
@@ -165,13 +169,18 @@ def test_world_cache_disabled_spill_has_no_path():
 
 
 # ----------------------------------------------------------------------
-# API redesign: deprecations and keyword-only config
+# API redesign: keyword-only config and removed legacy wrappers
 # ----------------------------------------------------------------------
 
 
-def test_legacy_wrappers_emit_deprecation_warning(tiny_config, shard_world):
-    with pytest.warns(DeprecationWarning, match="Runner"):
-        run_headline(tiny_config, shard_world)
+def test_legacy_wrappers_are_gone():
+    """The pre-1.1 module-level wrappers were removed after their
+    deprecation cycle; the shard cores and Runner are the API."""
+    import repro
+    import repro.experiments.harness as harness
+    for name in ("run_prefetch", "run_realtime", "run_headline"):
+        assert not hasattr(harness, name)
+        assert not hasattr(repro, name)
 
 
 def test_experiment_config_rejects_positional_args():

@@ -1,0 +1,285 @@
+"""Client SDK resilience under fault injection, and the sync-boundary
+regression: expiry runs *after* the sync merge, so assignments that are
+already past their deadline on arrival count as deadline losses."""
+
+import numpy as np
+import pytest
+
+from repro.client.device import Device
+from repro.client.sdk import AdClient
+from repro.client.timeline import KIND_APP, KIND_SLOT, KIND_SLOT_START, ClientTimeline
+from repro.core.overbooking import Assignment
+from repro.exchange.marketplace import Sale
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.radio.profiles import THREE_G
+from repro.server.adserver import SyncResponse
+from repro.workloads.appstore import TOP15
+
+DAY = 86400.0
+
+
+class FakeServer:
+    """Scripted server: records calls, returns canned responses."""
+
+    def __init__(self, assignments=None):
+        self.assignments = list(assignments or [])
+        self.syncs: list[tuple[float, list]] = []
+        self.reports: list[tuple[float, list]] = []
+        self.displays: list[tuple[int, str, float]] = []
+
+    def sync(self, user_id, now, reports):
+        self.syncs.append((now, list(reports)))
+        assignments, self.assignments = self.assignments, []
+        nbytes = 400 + sum(a.sale.creative_bytes for a in assignments)
+        return SyncResponse(assignments=assignments,
+                            invalidated_ids=set(), nbytes=nbytes)
+
+    def report(self, user_id, reports):
+        self.reports.append((0.0, list(reports)))
+        return set()
+
+    def rescue(self, user_id, now):
+        return []
+
+    def record_display(self, sale_id, user_id, time):
+        self.displays.append((sale_id, user_id, time))
+
+    def realtime_fill(self, now, category, platform):
+        return None
+
+
+def _sale(sale_id, deadline=1e9) -> Sale:
+    return Sale(sale_id=sale_id, campaign_id="c", price=1.0,
+                creative_bytes=4000, sold_at=0.0, deadline=deadline)
+
+
+def _timeline(events) -> ClientTimeline:
+    times = np.array([e[0] for e in events], dtype=np.float64)
+    kinds = np.array([e[1] for e in events], dtype=np.int8)
+    payload = np.array([e[2] for e in events], dtype=np.float64)
+    return ClientTimeline("u1", "wp", times, kinds, payload)
+
+
+def _client(events, plan=None, seed=1, **kwargs) -> AdClient:
+    faults = None
+    if plan is not None:
+        faults = FaultInjector(plan, seed=seed, horizon=DAY).for_user("u1")
+    return AdClient(_timeline(events), Device("u1", THREE_G), TOP15,
+                    faults=faults, **kwargs)
+
+
+#: Everything the injector can throw is off except what each test turns
+#: on explicitly.
+def _plan(**overrides) -> FaultPlan:
+    return FaultPlan(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Satellite: cache-expiry runs after the sync merge
+# ----------------------------------------------------------------------
+
+
+def test_sync_expires_dead_on_arrival_assignments():
+    """An assignment already past its deadline when the download lands
+    must be dropped (a counted deadline loss), not left queued."""
+    server = FakeServer(assignments=[Assignment(_sale(1, deadline=5.0)),
+                                     Assignment(_sale(2))])
+    client = _client([(10.0, KIND_SLOT_START, 0)])
+    client.run_epoch(0.0, 3600.0, server)
+    # Sale 1's deadline (5.0) predates the sync at t=10: expired on
+    # arrival. Sale 2 is fine and fills the slot.
+    assert client.queue.stats.expired == 1
+    assert client.queue.peek_ids() == []
+    assert client.stats.cached_displays == 1
+    assert [d[0] for d in server.displays] == [2]
+
+
+def test_sync_expiry_boundary_is_the_arrival_time():
+    """deadline == arrival time is a loss; deadline just after is not.
+
+    Pins the ordering *and* the boundary: ``drop_expired(arrival)``
+    keeps ``deadline >= arrival``, and ``pop_for_display`` at the same
+    instant can still show it.
+    """
+    at_boundary = FakeServer(assignments=[Assignment(_sale(1, deadline=10.0))])
+    client = _client([(10.0, KIND_SLOT_START, 0)])
+    client.run_epoch(0.0, 3600.0, at_boundary)
+    assert client.queue.stats.expired == 0
+    assert client.stats.cached_displays == 1
+
+    past = FakeServer(assignments=[Assignment(_sale(1, deadline=9.999))])
+    client2 = _client([(10.0, KIND_SLOT_START, 0)])
+    client2.run_epoch(0.0, 3600.0, past)
+    assert client2.queue.stats.expired == 1
+    assert client2.stats.cached_displays == 0
+
+
+def test_latency_inflation_expires_ads_that_missed_their_window():
+    """With inflated sync latency the expiry cut moves to now + delay:
+    ads whose deadline falls inside the delay are deadline losses."""
+    plan = _plan(latency_mean_s=120.0)
+    client = _client([(10.0, KIND_SLOT_START, 0)], plan=plan)
+    delay_probe = FaultInjector(plan, seed=1, horizon=DAY).for_user("u1")
+    delay = delay_probe.sync_delay()
+    assert delay > 0.0
+    server = FakeServer(assignments=[
+        Assignment(_sale(1, deadline=10.0 + delay / 2.0)),
+        Assignment(_sale(2, deadline=1e9)),
+    ])
+    client.run_epoch(0.0, 3600.0, server)
+    assert client.queue.stats.expired == 1     # died mid-download
+    assert client.stats.cached_displays == 1   # sale 2 served
+    # The radio paid for the inflated transfer (longer active period
+    # than the same bytes without the delay).
+    clean = _client([(10.0, KIND_SLOT_START, 0)])
+    clean_server = FakeServer(assignments=[
+        Assignment(_sale(1, deadline=10.0 + delay / 2.0)),
+        Assignment(_sale(2, deadline=1e9)),
+    ])
+    clean.run_epoch(0.0, 3600.0, clean_server)
+    client.device.finish(3600.0)
+    clean.device.finish(3600.0)
+    assert client.device.ad_energy() > clean.device.ad_energy()
+
+
+# ----------------------------------------------------------------------
+# Retry with exponential backoff
+# ----------------------------------------------------------------------
+
+
+def _lossy_plan(**overrides) -> FaultPlan:
+    # loss_prob close to 1: every attempt fails (but valid, < 1).
+    return _plan(loss_prob=0.999999, **overrides)
+
+
+def test_failed_sync_retries_at_next_event_after_backoff():
+    plan = _plan(loss_prob=0.5, backoff_base_s=30.0, backoff_jitter=0.0,
+                 max_retries=4)
+    events = [(float(t), KIND_SLOT, 0) for t in range(10, 3600, 60)]
+    client = _client(events, plan=plan, seed=3)
+    server = FakeServer(assignments=[Assignment(_sale(1))])
+    client.run_epoch(0.0, 3600.0, server)
+    # With 50% loss and 4 retries the sync virtually always lands.
+    assert client.stats.syncs == 1
+    sync_time = server.syncs[0][0]
+    assert sync_time >= 10.0
+    if sync_time > 10.0:          # at least one attempt failed first
+        assert sync_time - 10.0 >= plan.backoff_base_s
+
+
+def test_retry_budget_exhausts_and_epoch_degrades_to_house_ads():
+    client = _client([(float(t), KIND_SLOT, 0)
+                      for t in range(10, 3600, 300)],
+                     plan=_lossy_plan(max_retries=2))
+    server = FakeServer(assignments=[Assignment(_sale(1))])
+    client.run_epoch(0.0, 3600.0, server)
+    assert client.stats.syncs == 0
+    assert server.syncs == []                   # nothing ever reached it
+    assert client.stats.cached_displays == 0
+    assert client.stats.house_displays == len(range(10, 3600, 300))
+    # 1 first attempt + 2 retries, then the budget is spent.
+    assert client._sync_attempts == 3
+
+
+def test_failed_attempts_charge_honest_radio_energy():
+    plan = _lossy_plan(max_retries=1, failed_attempt_bytes=500)
+    client = _client([(10.0, KIND_SLOT, 0), (600.0, KIND_SLOT, 0)],
+                     plan=plan)
+    client.run_epoch(0.0, 3600.0, FakeServer())
+    # Two failed sync attempts plus two failed slot-fill attempts, each
+    # charged at failed_attempt_bytes.
+    assert client.device.ad_bytes == 4 * 500
+    client.device.finish(3600.0)
+    assert client.device.ad_energy() > 0.0
+
+    free = _lossy_plan(max_retries=1, failed_attempt_bytes=0)
+    silent = _client([(10.0, KIND_SLOT, 0), (600.0, KIND_SLOT, 0)],
+                     plan=free)
+    silent.run_epoch(0.0, 3600.0, FakeServer())
+    assert silent.device.ad_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# Deferred reports and beacons
+# ----------------------------------------------------------------------
+
+
+def test_lost_piggyback_keeps_reports_queued_for_next_contact():
+    """Reports survive lost flush attempts — the deferred-report queue."""
+    server = FakeServer(assignments=[Assignment(_sale(1))])
+    # Sync succeeds at t=10 (before the rigged loss window) ... then all
+    # piggyback flushes fail. Simplest rig: serve the sync fault-free,
+    # then attach a total-loss injector for the rest of the epoch.
+    client = _client([(10.0, KIND_SLOT_START, 0),
+                      (20.0, KIND_APP, 5000),
+                      (30.0, KIND_APP, 5000)], report_delay_s=1e9)
+    client.run_epoch(0.0, 3600.0, server)
+    assert server.reports        # fault-free: flushed on app traffic
+
+    faulty = _client([(10.0, KIND_SLOT_START, 0),
+                      (20.0, KIND_APP, 5000),
+                      (30.0, KIND_APP, 5000)],
+                     plan=_lossy_plan(), report_delay_s=1e9)
+    faulty_server = FakeServer(assignments=[Assignment(_sale(1))])
+    faulty.run_epoch(0.0, 3600.0, faulty_server)
+    # The sync itself failed too (total loss): no display at all, and
+    # nothing was ever reported.
+    assert faulty_server.reports == []
+    assert faulty.stats.cached_displays == 0
+
+
+def test_lost_beacon_charges_radio_and_keeps_reports():
+    plan = _lossy_plan(failed_attempt_bytes=500)
+    faults = FaultInjector(plan, seed=1, horizon=DAY).for_user("u1")
+    client = AdClient(_timeline([(10.0, KIND_SLOT_START, 0)]),
+                      Device("u1", THREE_G), TOP15,
+                      report_delay_s=300.0, faults=faults)
+    # Seed a pending report directly (display happened somehow).
+    client._pending_reports = [(1, 10.0)]
+    server = FakeServer()
+    client._maybe_beacon(400.0, server)
+    assert server.reports == []
+    assert client._pending_reports == [(1, 10.0)]
+    assert client.device.ad_bytes == 500      # the failed beacon
+
+
+def test_dark_device_stops_and_never_beacons():
+    plan = _plan(churn_prob=1.0)
+    faults = FaultInjector(plan, seed=1, horizon=DAY).for_user("u1")
+    dark_from = faults.dark_from
+    assert dark_from < DAY
+    events = [(dark_from - 10.0, KIND_SLOT_START, 0),
+              (dark_from + 10.0, KIND_SLOT, 0),
+              (dark_from + 20.0, KIND_APP, 5000)]
+    client = AdClient(_timeline(events), Device("u1", THREE_G), TOP15,
+                      report_delay_s=60.0, faults=faults)
+    server = FakeServer(assignments=[Assignment(_sale(1)),
+                                     Assignment(_sale(2))])
+    client.run_epoch(0.0, DAY, server)
+    # Only the pre-churn slot was served; no post-churn events ran and
+    # the trailing overdue beacon was suppressed (the device is off).
+    assert client.stats.total_slots == 1
+    assert client.device.app_bytes == 0
+    assert server.reports == []
+
+
+def test_faulty_and_fault_free_clients_match_without_fault_knobs():
+    """A plan whose only fault is a server blackout outside the replayed
+    window never fires, so the client behaves exactly as without
+    faults (loss draws are made but the deterministic gates all pass
+    and loss_prob is zero)."""
+    plan = _plan(server_outages=((DAY * 10, DAY * 11),))
+    events = [(10.0, KIND_SLOT_START, 0), (40.0, KIND_SLOT, 0),
+              (50.0, KIND_APP, 5000)]
+    faulty = _client(events, plan=plan)
+    clean = _client(events)
+    for client in (faulty, clean):
+        client.run_epoch(0.0, 3600.0,
+                         FakeServer(assignments=[Assignment(_sale(1)),
+                                                 Assignment(_sale(2))]))
+    assert faulty.stats == clean.stats
+    assert faulty.device.ad_bytes == clean.device.ad_bytes
+    faulty.device.finish(3600.0)
+    clean.device.finish(3600.0)
+    assert faulty.device.ad_energy() == clean.device.ad_energy()

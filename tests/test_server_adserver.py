@@ -182,3 +182,114 @@ def test_finalize_settles_all_sales():
     assert sla.n_on_time == 1
     assert revenue.billed_prefetch == pytest.approx(shown.sale.price)
     assert revenue.paid_impressions == 1
+
+
+# ----------------------------------------------------------------------
+# Resilience: presumed-dark rescue, degraded epochs, heap hygiene
+# ----------------------------------------------------------------------
+
+
+def test_presumed_dark_reclaims_and_redispatches_to_live_host():
+    server = _server(sell_factor=1.0, presumed_dark_after_s=HOUR,
+                     deadline_s=8 * HOUR)
+    _warm(server, 5)
+    now = 72 * HOUR
+    server.plan_epoch(72, now)
+    r1 = server.sync("u1", now + 10.0, reports=[])
+    owned = {a.sale_id for a in r1.assignments}
+    assert owned, "u1 must receive inventory to lose"
+    # u2 stays in contact; u1 goes silent for > presumed_dark_after_s.
+    server.sync("u2", now + 1.9 * HOUR, reports=[])
+    server.plan_epoch(74, now + 2 * HOUR)
+    assert server.presumed_dark == 1
+    assert server.redispatched > 0
+    # u1's replicas were revoked: its next contact drops the copies.
+    invalidated = server.report("u1", [])
+    assert owned <= invalidated
+    # The orphans now live on u2's pending queue.
+    r2 = server.sync("u2", now + 2 * HOUR + 10.0, reports=[])
+    redelivered = {a.sale_id for a in r2.assignments}
+    assert owned & redelivered
+
+
+def test_presumed_dark_all_candidate_hosts_dark():
+    """When every contacted client is presumed dark, orphans stay in the
+    at-risk heap (no crash, no dispatch to a dark host) and wait for
+    demand-driven rescue at the next live contact."""
+    server = _server(sell_factor=1.0, presumed_dark_after_s=HOUR,
+                     deadline_s=8 * HOUR)
+    _warm(server, 5)
+    now = 72 * HOUR
+    server.plan_epoch(72, now)
+    delivered = set()
+    for uid in ("u1", "u2"):
+        response = server.sync(uid, now + 10.0, reports=[])
+        delivered |= {a.sale_id for a in response.assignments}
+    assert delivered
+    # Everyone silent for two hours: all candidate hosts are dark.
+    server.plan_epoch(74, now + 2 * HOUR)
+    # (Only hosts that held replicas count; a dark host with an empty
+    # queue has nothing to reclaim.)
+    assert server.presumed_dark >= 1
+    assert server.redispatched == 0
+    heap_ids = {sid for _, sid, _ in server._at_risk}
+    assert delivered <= heap_ids
+    # A dark host coming back rescues its own orphans (demand-driven).
+    rescued = server.rescue("u1", now + 7.5 * HOUR)
+    assert rescued
+
+
+def test_presumed_dark_ignores_never_contacted_clients():
+    """Clients the server has never heard from are not presumed dark —
+    otherwise the whole population is reclaimed at the first epoch."""
+    server = _server(sell_factor=1.0, presumed_dark_after_s=HOUR)
+    _warm(server, 5)
+    now = 72 * HOUR
+    server.plan_epoch(72, now)
+    server.plan_epoch(74, now + 2 * HOUR)   # nobody ever synced
+    assert server.presumed_dark == 0
+    assert server.redispatched == 0
+
+
+def test_rescue_drops_settled_and_hopeless_sales_from_heap():
+    """The 'settled or hopeless' pop path: shown sales and sales past
+    their deadline leave the at-risk heap for good."""
+    server = _server(sell_factor=1.0, rescue_batch=8,
+                     rescue_horizon_s=4 * HOUR)
+    _warm(server, 5)
+    now = 72 * HOUR
+    server.plan_epoch(72, now)
+    heap_before = len(server._at_risk)
+    assert heap_before > 0
+    # Mark one sale shown via a report; push every other past deadline.
+    response = server.sync("u1", now + 10.0, reports=[])
+    shown = response.assignments[0].sale_id
+    server.report("u1", [(shown, now + 20.0)])
+    after_deadline = now + 5 * HOUR
+    assert server.rescue("u2", after_deadline) == []
+    assert server._at_risk == []            # heap fully drained
+    # And nothing resurrects them later.
+    assert server.rescue("u1", after_deadline + 10.0) == []
+
+
+def test_degraded_epoch_records_but_sells_nothing():
+    server = _server(sell_factor=1.0)
+    _warm(server, 5)
+    now = 72 * HOUR
+    server.degraded_epoch(72, now)
+    server.degraded_epoch(73, now + HOUR)
+    assert server.degraded_epochs == 2
+    assert server.all_sales == []
+    assert server.plan_stats == []
+    # Planning resumes normally once the blackout lifts.
+    stats = server.plan_epoch(74, now + 2 * HOUR)
+    assert stats.sold > 0
+
+
+def test_presumed_dark_config_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(presumed_dark_after_s=0.0)
+    with pytest.raises(ValueError):
+        ServerConfig(presumed_dark_after_s=-1.0)
+    assert ServerConfig(presumed_dark_after_s=HOUR).presumed_dark_after_s \
+        == HOUR
