@@ -10,7 +10,7 @@ Run:  python examples/custom_predictor.py
 
 import numpy as np
 
-from repro import ExperimentConfig, Runner, get_world
+from repro import ExperimentConfig, Runner, WorldSource
 from repro.metrics import fmt_pct, format_table
 from repro.prediction import (
     EvaluationConfig,
@@ -55,7 +55,7 @@ class DayOfWeekPredictor(SlotPredictor):
 
 def main() -> None:
     config = ExperimentConfig(n_users=80, n_days=10, train_days=6, seed=29)
-    world = get_world(config)
+    world = WorldSource().world_for(config)
 
     print("Offline accuracy (test days, online evaluation):")
     summaries = compare_models(

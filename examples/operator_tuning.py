@@ -9,7 +9,7 @@ paper's deadline figure.
 Run:  python examples/operator_tuning.py
 """
 
-from repro import ExperimentConfig, Runner, get_world
+from repro import ExperimentConfig, Runner, WorldSource
 from repro.metrics import fmt_pct, format_table
 
 #: Operator requirements.
@@ -22,7 +22,7 @@ SELL_FACTORS = (0.7, 0.8, 0.9)
 
 def main() -> None:
     base = ExperimentConfig(n_users=80, n_days=8, train_days=4, seed=13)
-    world = get_world(base)
+    world = WorldSource().world_for(base)
     print(f"Tuning on {base.n_users} users, {base.test_days} test days...\n")
 
     rows = []

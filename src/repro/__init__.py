@@ -34,14 +34,17 @@ from repro.experiments.config import (  # noqa: E402
     PAPER_SCALE,
     ExperimentConfig,
 )
-from repro.experiments.harness import get_world  # noqa: E402
+from repro.experiments.harness import (  # noqa: E402
+    ShardJob,
+    execute_shard,
+)
 from repro.faults import FaultPlan  # noqa: E402
 from repro.obs.runtime import ObsOptions  # noqa: E402
 from repro.runner import (  # noqa: E402
     Runner,
     RunResult,
     WorldCache,
-    default_world_cache,
+    WorldSource,
 )
 
 __all__ = [
@@ -53,7 +56,8 @@ __all__ = [
     "ObsOptions",
     "Runner",
     "RunResult",
+    "ShardJob",
     "WorldCache",
-    "default_world_cache",
-    "get_world",
+    "WorldSource",
+    "execute_shard",
 ]

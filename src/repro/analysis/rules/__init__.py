@@ -9,12 +9,14 @@ from __future__ import annotations
 from .common import Rule
 from .determinism import DeterminismRule
 from .merges import MergeRule
+from .numpy_entropy import NumpyEntropyRule
 from .rng_streams import RngStreamRule
 from .units import UnitRule
 
 ALL_RULES: dict[str, type[Rule]] = {
     rule.id: rule
-    for rule in (DeterminismRule, RngStreamRule, UnitRule, MergeRule)
+    for rule in (DeterminismRule, RngStreamRule, UnitRule, MergeRule,
+                 NumpyEntropyRule)
 }
 
 

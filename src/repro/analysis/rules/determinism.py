@@ -3,8 +3,6 @@
 Flags ambient-nondeterminism sources anywhere in the tree:
 
 * calls through the stdlib ``random`` module's hidden global state;
-* numpy legacy global-state draws (``np.random.seed``, ``np.random
-  .rand``, …);
 * wall-clock/entropy reads (``time.time``, ``datetime.now``,
   ``os.urandom``, ``uuid.uuid4``); elapsed-time reporting must use the
   monotonic allowlist (``time.perf_counter`` and friends);
@@ -21,7 +19,9 @@ time; only the profiling module measures wall-clock cost, which keeps
 the "where may real time leak in?" audit surface to one file.
 
 Constructor-shaped RNG calls (``default_rng``, ``Generator``,
-``random.Random``) are RPR002's jurisdiction and skipped here.
+``random.Random``) are RPR002's jurisdiction and skipped here; numpy
+legacy global-state draws (``np.random.rand`` & co.) and unseeded
+constructors are RPR005's.
 """
 
 from __future__ import annotations
@@ -33,7 +33,6 @@ from ..context import FileContext
 from ..findings import Finding
 from .common import (
     ALLOWED_CLOCK_CALLS,
-    NUMPY_GLOBAL_FUNCS,
     ORDER_SENSITIVE_CONSUMERS,
     RNG_CONSTRUCTOR_CALLS,
     WALL_CLOCK_CALLS,
@@ -80,12 +79,6 @@ class DeterminismRule(Rule):
                     self.id, ctx, node,
                     f"{name}() draws from the stdlib global RNG; thread an "
                     "explicit numpy Generator from RngRegistry instead")
-            elif (name.startswith("numpy.random.")
-                  and name.rsplit(".", 1)[-1] in NUMPY_GLOBAL_FUNCS):
-                yield make_finding(
-                    self.id, ctx, node,
-                    f"{name}() uses numpy's hidden global RandomState; "
-                    "thread an explicit Generator from RngRegistry instead")
 
     # -- unordered iteration --------------------------------------------
 

@@ -1,0 +1,101 @@
+"""RPR005 — nondeterministic numpy entry points.
+
+The batched backend (:mod:`repro.sim.batched`) made vectorized numpy
+code a first-class citizen of the hot path, which widens the surface
+for two classic reproducibility leaks this rule closes:
+
+1. **Hidden global state.** ``np.random.<fn>()`` convenience functions
+   draw from the module-level legacy ``RandomState``. They are easy to
+   reach for while vectorizing (``np.random.poisson(lam, n)`` instead of
+   ``rng.poisson(lam, n)``) and silently bypass the
+   :class:`~repro.sim.rng.RngRegistry` stream tree entirely.
+
+2. **Entropy-seeded construction.** An *unseeded* constructor —
+   ``np.random.default_rng()``, ``SeedSequence()``, a bare bit
+   generator, ``random.Random()`` — pulls OS entropy, so two runs of the
+   same config diverge. RPR002 stops construction *outside*
+   ``repro/sim/rng.py`` but grants the RNG home module amnesty; this
+   rule has no home-module exemption, so even the registry itself must
+   derive every seed from the run's master seed.
+
+Together with RPR002 the invariant is: generators are built only in
+``repro/sim/rng.py``, and *every* generator anywhere is a pure function
+of ``(master_seed, stream name)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from .common import NUMPY_GLOBAL_FUNCS, Rule, iter_calls, make_finding
+
+#: Constructors whose first argument (or ``seed=``/``entropy=`` keyword)
+#: is a seed; calling them without one falls back to OS entropy.
+SEEDABLE_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.SeedSequence",
+    "random.Random",
+})
+
+#: Constructors that are entropy sources by design — no seeding form
+#: exists, so any call is nondeterministic.
+ENTROPY_CONSTRUCTORS = frozenset({
+    "random.SystemRandom",
+})
+
+_SEED_KEYWORDS = frozenset({"seed", "entropy"})
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when the call provably falls back to OS entropy.
+
+    A positional first argument counts as the seed unless it is a
+    literal ``None``; ``seed=``/``entropy=`` keywords likewise. A
+    ``**kwargs`` splat is not statically decidable and gets the benefit
+    of the doubt.
+    """
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg is None:
+            return False                          # **kwargs: unknowable
+        if kw.arg in _SEED_KEYWORDS:
+            return (isinstance(kw.value, ast.Constant)
+                    and kw.value.value is None)
+    return True
+
+
+class NumpyEntropyRule(Rule):
+    id = "RPR005"
+    title = "nondeterministic numpy entry points"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, name in iter_calls(ctx):
+            if (name.startswith("numpy.random.")
+                    and name.rsplit(".", 1)[-1] in NUMPY_GLOBAL_FUNCS):
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() uses numpy's hidden global RandomState; "
+                    "thread an explicit Generator from RngRegistry instead")
+            elif name in ENTROPY_CONSTRUCTORS:
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() is an OS-entropy source and can never be "
+                    "reproduced; derive randomness from the run's master "
+                    "seed via RngRegistry")
+            elif name in SEEDABLE_CONSTRUCTORS and _is_unseeded(node):
+                yield make_finding(
+                    self.id, ctx, node,
+                    f"{name}() without an explicit seed pulls OS entropy, "
+                    "so reruns diverge; derive the seed from the run's "
+                    "master seed (see repro/sim/rng.py)")

@@ -27,15 +27,17 @@ def run_realtime(timelines: dict[str, ClientTimeline],
                  apps: Sequence[AppProfile],
                  profile: RadioProfile | dict[str, RadioProfile],
                  exchange: Exchange, start: float, end: float,
-                 injector: FaultInjector | None = None
-                 ) -> RealtimeOutcome:
+                 injector: FaultInjector | None = None,
+                 device_cls: type = Device) -> RealtimeOutcome:
     """Replay ``[start, end)`` of every timeline under real-time serving.
 
     ``profile`` is one radio profile for everyone, or a per-user map
     (mixed 3G/LTE/WiFi populations). ``injector`` (optional) subjects
     every per-slot fetch to fault injection: a blocked attempt is an
     unfilled slot that still charged the radio for the failed request —
-    real-time serving has no cache to fall back on.
+    real-time serving has no cache to fall back on. ``device_cls``
+    selects the radio accountant (the batched backend passes
+    :class:`repro.sim.batched.LogDevice`).
     """
     if end <= start:
         raise ValueError("empty simulation window")
@@ -51,7 +53,7 @@ def run_realtime(timelines: dict[str, ClientTimeline],
         timeline = timelines[uid]
         user_profile = (profile[uid] if isinstance(profile, dict)
                         else profile)
-        device = Device(uid, user_profile)
+        device = device_cls(uid, user_profile)
         devices.append(device)
         faults = injector.for_user(uid) if injector is not None else None
         times, kinds, payload = timeline.window(start, end)

@@ -13,7 +13,11 @@
 
 ``run``, ``headline``, and ``report`` accept ``--jobs N`` to execute
 user shards across N worker processes (see :class:`repro.runner.Runner`;
-results are bit-for-bit identical at any ``--jobs``). They also accept
+results are bit-for-bit identical at any ``--jobs``) and
+``--backend event|batched`` to pick the shard execution engine
+(``batched`` vectorizes the hot paths and is bit-identical to the
+reference engine under the contract in :mod:`repro.sim.batched`; see
+DESIGN.md §10). They also accept
 the observability flags: ``--metrics-out DIR`` writes one
 ``run-NNN-<system>`` artifact directory per run (manifest, merged
 metrics, wall-clock profile), and ``--trace`` additionally records the
@@ -55,6 +59,13 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for shard execution "
                              "(results identical at any value)")
+    parser.add_argument("--backend", default="event",
+                        choices=("event", "batched"),
+                        help="shard execution engine: the reference "
+                             "event-driven engine or the vectorized "
+                             "batched engine (equivalent under the "
+                             "contract in repro.sim.batched; see "
+                             "DESIGN.md §10)")
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -127,12 +138,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner import WorldSource
+
     _install_obs_options(args)
     config = _config_from(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    source = WorldSource()  # one world provider for the whole invocation
     for eid in ids:
         started = time.perf_counter()
-        result = run_experiment(eid, config, jobs=args.jobs)
+        result = run_experiment(eid, config, jobs=args.jobs,
+                                backend=args.backend, source=source)
         print(result.render())
         print(f"[{eid} took {time.perf_counter() - started:.1f}s]\n")
     return 0
@@ -143,7 +158,8 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     from repro.runner import Runner
 
     _install_obs_options(args)
-    result = Runner(_config_from(args), parallelism=args.jobs).run("headline")
+    result = Runner(_config_from(args), parallelism=args.jobs,
+                    backend=args.backend).run("headline")
     comparison = result.comparison
     print("Paper claim: >50% ad-energy reduction, negligible revenue "
           "loss and SLA violation rate.")
@@ -164,7 +180,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _install_obs_options(args)
     ids = args.only.split(",") if args.only else None
     path = write_report(args.path, _config_from(args), ids=ids,
-                        jobs=args.jobs)
+                        jobs=args.jobs, backend=args.backend)
     print(f"report written to {path}")
     return 0
 
@@ -189,10 +205,10 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import get_world
+    from repro.runner import WorldSource
     from repro.traces.io import write_trace
 
-    world = get_world(_config_from(args))
+    world = WorldSource().world_for(_config_from(args))
     count = write_trace(world.trace, args.path)
     print(f"wrote {count} sessions for {world.trace.n_users} users "
           f"to {args.path}")

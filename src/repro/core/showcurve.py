@@ -85,6 +85,26 @@ class ShowCurveEstimator:
         """Observations available in the bucket of ``predicted``."""
         return int(self._totals[self.bucket_of(predicted)])
 
+    def saturated_bucket(self, predicted: float) -> int | None:
+        """Bucket index of ``predicted`` if it is purely empirical.
+
+        A saturated bucket (``total >= min_samples``) answers
+        :meth:`at_least` from its tail counts alone — a pure function of
+        ``(bucket, depth)`` that callers may memoize between
+        observations. Returns ``None`` while the prior still blends in.
+        """
+        b = self.bucket_of(predicted)
+        return b if int(self._totals[b]) >= self.min_samples else None
+
+    def empirical_tail(self, bucket: int, depth: int) -> float:
+        """``tail_counts[bucket, depth] / total`` — the saturated answer.
+
+        Exactly the division :meth:`at_least` performs once a bucket is
+        saturated (``depth`` already clamped to ``MAX_DEPTH``).
+        """
+        return float(self._tail_counts[bucket, depth]) / int(
+            self._totals[bucket])
+
     def at_least(self, predicted: float, j: int) -> float:
         """``P(actual >= j | predicted)`` with prior blending.
 

@@ -2,13 +2,13 @@
 
 from .config import BENCH_SCALE, PAPER_SCALE, TEST_SCALE, ExperimentConfig
 from .harness import (
+    BACKENDS,
+    MODES,
     PrefetchArtifacts,
+    ShardExecution,
+    ShardJob,
     World,
-    clear_world_cache,
-    get_world,
-    run_prefetch_instrumented,
-    run_prefetch_shard,
-    run_realtime_shard,
+    execute_shard,
 )
 from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
 
@@ -19,11 +19,11 @@ __all__ = [
     "TEST_SCALE",
     "World",
     "PrefetchArtifacts",
-    "get_world",
-    "clear_world_cache",
-    "run_prefetch_instrumented",
-    "run_prefetch_shard",
-    "run_realtime_shard",
+    "BACKENDS",
+    "MODES",
+    "ShardJob",
+    "ShardExecution",
+    "execute_shard",
     "EXPERIMENTS",
     "Experiment",
     "experiment_ids",

@@ -11,8 +11,12 @@ from dataclasses import dataclass
 
 from repro.metrics.summary import fmt_pct, format_table
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 POLICY_VARIANTS: tuple[tuple[str, dict], ...] = (
     ("no-replication", {}),
@@ -74,16 +78,17 @@ def _row(policy_name: str, comparison) -> DispatchRow:
 
 def run_e10(config: ExperimentConfig | None = None,
             max_replicas: int = 4, *,
-            jobs: int = 1) -> DispatchAblation:
+            jobs: int = 1, backend: str = "event",
+            source: "WorldSource | None" = None) -> DispatchAblation:
     """Compare dispatch policies with the rest of the system fixed."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     base = (config or ExperimentConfig()).variant(
         max_replicas=max_replicas, rescue_batch=0)
-    world = get_world(base)
+    world = (source or WorldSource()).world_for(base)
 
     def headline(variant):
-        return Runner(variant, parallelism=jobs,
+        return Runner(variant, parallelism=jobs, backend=backend,
                       world=world).run("headline").comparison
 
     rows = []

@@ -12,8 +12,12 @@ from dataclasses import dataclass
 
 from repro.metrics.summary import fmt_pct, format_table
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 DEFAULT_PREDICTORS = ("last_value", "global_mean", "time_of_day", "ewma",
                       "hybrid", "oracle")
@@ -54,16 +58,17 @@ class PredictorAblation:
 
 def run_e11(config: ExperimentConfig | None = None,
             predictors: tuple[str, ...] = DEFAULT_PREDICTORS, *,
-            jobs: int = 1) -> PredictorAblation:
+            jobs: int = 1, backend: str = "event",
+            source: "WorldSource | None" = None) -> PredictorAblation:
     """Swap the client model; keep everything else fixed."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     rows = []
     for predictor in predictors:
         variant = config.variant(predictor=predictor)
-        comparison = Runner(variant, parallelism=jobs,
+        comparison = Runner(variant, parallelism=jobs, backend=backend,
                             world=world).run("headline").comparison
         rows.append(PredictorRow(
             predictor=predictor,

@@ -17,8 +17,13 @@ from repro.metrics.summary import fmt_pct, format_table
 from repro.prediction.base import epochs_per_day
 from repro.radio.profiles import get_profile
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world, run_prefetch_instrumented
+from .harness import ShardJob, execute_shard
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,19 +70,24 @@ def _residency_shares(devices, horizon_s: float) -> dict[str, float]:
             if state != "idle"}
 
 
-def run_e12(config: ExperimentConfig | None = None) -> RadioActivityFigure:
+def run_e12(config: ExperimentConfig | None = None, *,
+            source: "WorldSource | None" = None) -> RadioActivityFigure:
     """Replay a small population with full radio timelines."""
+    from repro.runner import WorldSource
+
     config = config or ExperimentConfig(n_users=40, n_days=6, train_days=3)
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     profile = get_profile(config.radio)
     per_day = epochs_per_day(config.epoch_s)
     start = config.train_days * per_day * config.epoch_s
     horizon = world.trace.horizon
     window = horizon - start
 
-    # Prefetch side (instrumented, timelines kept).
-    artifacts = run_prefetch_instrumented(config, world,
-                                          keep_radio_timeline=True)
+    # Prefetch side (instrumented, timelines kept — event backend only).
+    job = ShardJob.for_world(config, world, mode="prefetch",
+                             keep_radio_timeline=True)
+    artifacts = execute_shard(job).prefetch
+    assert artifacts is not None
     prefetch_devices = list(artifacts.devices.values())
     prefetch_wakeups = artifacts.outcome.energy.wakeups_per_user_day()
 

@@ -30,8 +30,12 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.summary import fmt_pct, fmt_si, format_table
 from repro.traces.schema import SECONDS_PER_DAY
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 #: Fault intensities swept (0 = the inert plan, the bit-identity anchor).
 INTENSITIES = (0.0, 0.05, 0.15, 0.3)
@@ -123,12 +127,13 @@ def _system_config(system: str, config: ExperimentConfig,
 
 def run_e13(config: ExperimentConfig | None = None, *,
             intensities: tuple[float, ...] = INTENSITIES,
-            jobs: int = 1) -> FaultTable:
+            jobs: int = 1, backend: str = "event",
+            source: "WorldSource | None" = None) -> FaultTable:
     """Sweep fault intensity for each serving system on one world."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     rows: list[FaultRow] = []
     for system in SYSTEMS:
         baseline_revenue = 0.0
@@ -136,7 +141,8 @@ def run_e13(config: ExperimentConfig | None = None, *,
         for intensity in intensities:
             run_config = _system_config(system, config,
                                         plan_for(intensity, config))
-            runner = Runner(run_config, parallelism=jobs, world=world)
+            runner = Runner(run_config, parallelism=jobs, backend=backend,
+                            world=world)
             if system == "realtime":
                 outcome = runner.run("realtime").realtime
                 failure_rate = (outcome.unfilled_slots / outcome.total_slots

@@ -14,8 +14,12 @@ from repro.metrics.summary import format_table
 from repro.prediction.errors import ErrorSummary
 from repro.prediction.evaluate import EvaluationConfig, compare_models
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 DEFAULT_MODELS = ("last_value", "global_mean", "time_of_day", "ewma",
                   "markov", "quantile", "hybrid", "oracle")
@@ -47,10 +51,13 @@ class PredictionFigure:
 
 
 def run_e4(config: ExperimentConfig | None = None,
-           models: tuple[str, ...] = DEFAULT_MODELS) -> PredictionFigure:
+           models: tuple[str, ...] = DEFAULT_MODELS, *,
+           source: "WorldSource | None" = None) -> PredictionFigure:
     """Evaluate the predictor suite on the configured world."""
+    from repro.runner import WorldSource
+
     config = config or ExperimentConfig()
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     eval_config = EvaluationConfig(epoch_s=config.epoch_s,
                                    train_days=config.train_days)
     summaries = compare_models(models, world.trace, world.refresh_of,

@@ -18,8 +18,12 @@ from dataclasses import dataclass
 from repro.metrics.outcomes import Comparison
 from repro.metrics.summary import fmt_pct, format_table
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 DEFAULT_KS = (1, 2, 3, 4, 6)
 
@@ -76,13 +80,14 @@ def _point(label: str, comparison: Comparison) -> KPoint:
 
 def run_e5_e6(config: ExperimentConfig | None = None,
               ks: tuple[int, ...] = DEFAULT_KS, *,
-              jobs: int = 1) -> OverbookingSweep:
+              jobs: int = 1, backend: str = "event",
+              source: "WorldSource | None" = None) -> OverbookingSweep:
     """Run the k sweep plus the full model (cached per config+ks).
 
-    ``jobs`` parallelises shard execution; results are jobs-invariant,
-    so the cache key deliberately ignores it.
+    ``jobs`` parallelises shard execution; results are jobs- and
+    backend-invariant, so the cache key deliberately ignores them.
     """
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
     cache_key = (config.world_key(), config.epoch_s, config.deadline_s,
@@ -91,10 +96,10 @@ def run_e5_e6(config: ExperimentConfig | None = None,
     cached = _SWEEP_CACHE.get(cache_key)
     if cached is not None:
         return cached
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
 
     def headline(variant):
-        return Runner(variant, parallelism=jobs,
+        return Runner(variant, parallelism=jobs, backend=backend,
                       world=world).run("headline").comparison
 
     points = []

@@ -20,8 +20,12 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 from repro.traces.schema import SECONDS_PER_HOUR
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 DEFAULT_DEADLINES_H = (1.0, 2.0, 4.0, 8.0)
 
@@ -60,12 +64,13 @@ class DeadlineSweep:
 
 def run_e7(config: ExperimentConfig | None = None,
            deadlines_h: tuple[float, ...] = DEFAULT_DEADLINES_H, *,
-           jobs: int = 1) -> DeadlineSweep:
+           jobs: int = 1, backend: str = "event",
+           source: "WorldSource | None" = None) -> DeadlineSweep:
     """Sweep the show-by deadline for both system variants."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     points = []
     for d_h in deadlines_h:
         deadline_s = d_h * SECONDS_PER_HOUR
@@ -76,7 +81,7 @@ def run_e7(config: ExperimentConfig | None = None,
         full = config.variant(
             deadline_s=deadline_s, epoch_s=epoch_s, rescue_horizon_s=None)
         for system, variant in (("static", static), ("full", full)):
-            comparison = Runner(variant, parallelism=jobs,
+            comparison = Runner(variant, parallelism=jobs, backend=backend,
                                 world=world).run("headline").comparison
             points.append(DeadlinePoint(
                 deadline_h=d_h,

@@ -12,8 +12,12 @@ from dataclasses import dataclass
 from repro.metrics.summary import fmt_pct, format_table
 from repro.traces.schema import SECONDS_PER_HOUR
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 DEFAULT_EPOCHS_H = (0.5, 1.0, 2.0, 3.0)
 
@@ -47,19 +51,20 @@ class EpochSweep:
 
 def run_e8(config: ExperimentConfig | None = None,
            epochs_h: tuple[float, ...] = DEFAULT_EPOCHS_H, *,
-           jobs: int = 1) -> EpochSweep:
+           jobs: int = 1, backend: str = "event",
+           source: "WorldSource | None" = None) -> EpochSweep:
     """Sweep the prefetch epoch length at a fixed deadline."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
-    world = get_world(config)
+    world = (source or WorldSource()).world_for(config)
     points = []
     for t_h in epochs_h:
         epoch_s = t_h * SECONDS_PER_HOUR
         deadline_s = max(config.deadline_s, epoch_s)
         variant = config.variant(epoch_s=epoch_s, deadline_s=deadline_s,
                                  rescue_horizon_s=None)
-        comparison = Runner(variant, parallelism=jobs,
+        comparison = Runner(variant, parallelism=jobs, backend=backend,
                             world=world).run("headline").comparison
         p = comparison.prefetch
         denom = max(p.energy.n_users * p.energy.days, 1.0)

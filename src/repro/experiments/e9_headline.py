@@ -14,8 +14,12 @@ from repro.baselines.presets import apply_preset
 from repro.metrics.outcomes import Comparison
 from repro.metrics.summary import fmt_pct, fmt_si, format_table
 
+from typing import TYPE_CHECKING
+
 from .config import ExperimentConfig
-from .harness import get_world
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 SYSTEMS = ("naive-prefetch", "overbooking", "oracle")
 
@@ -80,18 +84,19 @@ def _row(system: str, comparison: Comparison) -> HeadlineRow:
 
 def run_e9(config: ExperimentConfig | None = None,
            systems: tuple[str, ...] = SYSTEMS, *,
-           jobs: int = 1) -> HeadlineTable:
+           jobs: int = 1, backend: str = "event",
+           source: "WorldSource | None" = None) -> HeadlineTable:
     """Run every system preset on the same world."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
-    world = get_world(config)
-    realtime = Runner(config, parallelism=jobs,
+    world = (source or WorldSource()).world_for(config)
+    realtime = Runner(config, parallelism=jobs, backend=backend,
                       world=world).run("realtime").realtime
     rows = [
         _row(system,
              Runner(apply_preset(system, config), parallelism=jobs,
-                    world=world).run("headline").comparison)
+                    backend=backend, world=world).run("headline").comparison)
         for system in systems
     ]
     return HeadlineTable(

@@ -1,31 +1,33 @@
 """End-to-end run harness (single-shard core).
 
 Builds the world (population + trace + compiled timelines), then runs a
-set of clients under either serving discipline. The functions here
-operate on **one user subset at a time**; :mod:`repro.runner` partitions
-a population into deterministic shards and drives this core once per
+set of clients under either serving discipline. The core here operates
+on **one user subset at a time**; :mod:`repro.runner` partitions a
+population into deterministic shards and drives this core once per
 shard (possibly in parallel worker processes), then merges the results
 through :mod:`repro.metrics.accumulators`.
 
 Public entry points:
 
 * :class:`repro.runner.Runner` — the supported API for full runs.
-* :func:`run_prefetch_shard` / :func:`run_realtime_shard` — the
-  single-shard cores (whole population == one shard with an empty
-  ``rng_tag``).
-* :func:`run_prefetch_instrumented` — whole-population prefetch run
-  that also returns devices/clients/server for introspection
-  (experiments E12, tests).
+* :class:`ShardJob` / :func:`execute_shard` — the single-shard core: a
+  ``ShardJob`` names the user subset, the serving ``mode``, and the
+  execution ``backend``; ``execute_shard`` dispatches it to the
+  event-driven engine or the vectorized :mod:`repro.sim.batched`
+  backend (whole population == one shard with an empty RNG tag).
+* :meth:`ShardJob.for_world` — convenience constructor for
+  whole-population jobs (experiments, tests, introspection).
 
 When the configuration carries a non-empty :class:`repro.faults.plan.
-FaultPlan`, both cores build a :class:`repro.faults.FaultInjector` and
-thread per-user fault decisions through the clients (and the baseline's
-per-slot fetches); scheduled server blackouts turn planning epochs into
-:meth:`~repro.server.adserver.AdServer.degraded_epoch` records.
+FaultPlan`, both serving modes build a :class:`repro.faults.
+FaultInjector` and thread per-user fault decisions through the clients
+(and the baseline's per-slot fetches); scheduled server blackouts turn
+planning epochs into :meth:`~repro.server.adserver.AdServer.
+degraded_epoch` records.
 
-Worlds are cached per configuration key (see
-:class:`repro.runner.WorldCache`) so parameter sweeps that only touch
-the serving side re-use the same trace.
+Worlds are provided by an explicit :class:`repro.runner.WorldSource`
+owned by the caller — shard execution itself holds no module-global
+state.
 """
 
 from __future__ import annotations
@@ -44,17 +46,13 @@ from repro.exchange.campaign import build_campaigns
 from repro.exchange.marketplace import Exchange
 from repro.faults.injector import make_injector
 from repro.metrics.energy import aggregate_devices
-from repro.metrics.outcomes import (
-    Comparison,
-    PrefetchOutcome,
-    RealtimeOutcome,
-    compare,
-)
+from repro.metrics.outcomes import PrefetchOutcome, RealtimeOutcome
 from repro.obs.runtime import current_obs
 from repro.prediction.base import epochs_per_day, make_predictor
 from repro.prediction.models import OraclePredictor
 from repro.radio.profiles import RadioProfile, get_profile
 from repro.server.adserver import AdServer
+from repro.sim.batched import BatchedAdServer, BatchedExchange, LogDevice
 from repro.sim.rng import RngRegistry
 from repro.traces.generator import TraceConfig, TraceGenerator
 from repro.traces.schema import Trace
@@ -63,6 +61,24 @@ from repro.workloads.appstore import TOP15, AppProfile
 from repro.workloads.population import build_population
 
 from .config import ExperimentConfig
+
+#: Serving disciplines a :class:`ShardJob` can request.
+MODES = ("prefetch", "realtime", "headline")
+
+#: Execution engines a :class:`ShardJob` can request.
+BACKENDS = ("event", "batched")
+
+
+def shard_rng_tag(shard_index: int, n_shards: int) -> str:
+    """RNG-stream namespace for one shard.
+
+    Empty for a single shard (the historical stream names), so a
+    whole-population job reproduces the pre-sharding serial results
+    exactly.
+    """
+    if n_shards == 1:
+        return ""
+    return f"#shard{shard_index}/{n_shards}"
 
 
 @dataclass(slots=True)
@@ -129,30 +145,104 @@ def build_world(config: ExperimentConfig,
     return world_from_trace(config, trace, apps)
 
 
-def get_world(config: ExperimentConfig,
-              apps: Sequence[AppProfile] = TOP15) -> World:
-    """Build (or fetch from the default cache) the world for ``config``.
+# ----------------------------------------------------------------------
+# The shard-execution API
+# ----------------------------------------------------------------------
 
-    Delegates to the process-wide default
-    :class:`repro.runner.WorldCache`.
+
+@dataclass(slots=True, kw_only=True)
+class ShardJob:
+    """One unit of shard execution: *what* to simulate and *how*.
+
+    A job carries plain data (config, timeline arrays, per-user radio
+    profiles and slot counts) so it can be shipped to worker processes;
+    ``backend`` selects the execution engine without changing the job's
+    meaning — the batched backend is equivalent to the event engine
+    under the contract in :mod:`repro.sim.batched`.
     """
-    from repro.runner import default_world_cache
-    return default_world_cache().get(config, apps)
+
+    config: ExperimentConfig
+    apps: tuple[AppProfile, ...]
+    timelines: Mapping[str, ClientTimeline]
+    profile_of: Mapping[str, RadioProfile]
+    horizon: float
+    mode: str = "headline"
+    #: Per-user epoch slot counts; required for prefetch modes.
+    counts: Mapping[str, np.ndarray] | None = None
+    shard_index: int = 0
+    n_shards: int = 1
+    backend: str = "event"
+    #: Record full radio state timelines (event backend only; E12).
+    keep_radio_timeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKENDS}")
+        if self.keep_radio_timeline and self.backend != "event":
+            raise ValueError(
+                "keep_radio_timeline requires the event backend (the "
+                "batched backend settles radio energy without a state "
+                "timeline)")
+        if self.mode in ("prefetch", "headline") and self.counts is None:
+            raise ValueError(
+                f"mode {self.mode!r} needs per-user slot counts; pass "
+                "counts= or build the job with ShardJob.for_world()")
+
+    @property
+    def rng_tag(self) -> str:
+        return shard_rng_tag(self.shard_index, self.n_shards)
+
+    @classmethod
+    def for_world(cls, config: ExperimentConfig, world: World, *,
+                  mode: str = "headline", backend: str = "event",
+                  keep_radio_timeline: bool = False) -> "ShardJob":
+        """Whole-population job over ``world`` (single shard, empty tag)."""
+        counts = None
+        if mode in ("prefetch", "headline"):
+            counts = epoch_slot_counts(world.trace, world.refresh_of,
+                                       config.epoch_s)
+        return cls(config=config, apps=world.apps,
+                   timelines=world.timelines, profile_of=world.profile_of,
+                   counts=counts, horizon=world.trace.horizon,
+                   mode=mode, backend=backend,
+                   keep_radio_timeline=keep_radio_timeline)
 
 
-def clear_world_cache() -> None:
-    """Drop cached worlds from the default :class:`~repro.runner.WorldCache`.
+@dataclass(slots=True)
+class ShardExecution:
+    """What :func:`execute_shard` produced for one job."""
 
-    Legacy alias for ``default_world_cache().clear()`` (tests that probe
-    generation determinism).
+    job: ShardJob
+    prefetch: PrefetchArtifacts | None = None
+    realtime: RealtimeOutcome | None = None
+
+
+def execute_shard(job: ShardJob) -> ShardExecution:
+    """Run one shard job on its selected backend.
+
+    Dispatches each requested serving mode to the event-driven engine
+    or the vectorized batched engine. The cross-user protocol order
+    (server dispatch, auctions, rescue) is event-driven on both
+    backends; the batched backend replaces the per-user/per-campaign
+    hot paths with array operations (see :mod:`repro.sim.batched`).
     """
-    from repro.runner import default_world_cache
-    default_world_cache().clear()
+    result = ShardExecution(job=job)
+    if job.mode in ("prefetch", "headline"):
+        result.prefetch = _execute_prefetch(job)
+    if job.mode in ("realtime", "headline"):
+        result.realtime = _execute_realtime(job)
+    return result
 
 
 def _build_exchange(config: ExperimentConfig, registry: RngRegistry,
                     stream: str, rng_tag: str = "",
-                    component: str = "exchange") -> Exchange:
+                    component: str = "exchange",
+                    exchange_cls: type[Exchange] = Exchange) -> Exchange:
     """Build a marketplace on tagged RNG streams.
 
     ``rng_tag`` namespaces the campaign and auction streams per shard so
@@ -163,25 +253,27 @@ def _build_exchange(config: ExperimentConfig, registry: RngRegistry,
     """
     campaigns = build_campaigns(config.campaign_config(),
                                 registry.fresh("campaigns" + rng_tag))
-    return Exchange(campaigns, config.auction_config(),
-                    registry.fresh(stream + rng_tag), component=component)
+    return exchange_cls(campaigns, config.auction_config(),
+                        registry.fresh(stream + rng_tag),
+                        component=component)
 
 
-def run_prefetch_shard(config: ExperimentConfig,
-                       apps: Sequence[AppProfile],
-                       timelines: Mapping[str, ClientTimeline],
-                       profile_of: Mapping[str, RadioProfile],
-                       counts: Mapping[str, np.ndarray],
-                       horizon: float,
-                       rng_tag: str = "",
-                       keep_radio_timeline: bool = False
-                       ) -> PrefetchArtifacts:
+def _execute_prefetch(job: ShardJob) -> PrefetchArtifacts:
     """Run the prefetch system over one user subset (a shard).
 
-    ``counts`` must hold the per-user epoch slot counts for exactly the
-    users in ``timelines``; ``rng_tag`` namespaces the shard's RNG
-    streams (empty for the legacy whole-population run).
+    Identical epoch loop on both backends; the batched backend swaps in
+    the vectorized exchange/server/device components.
     """
+    config = job.config
+    timelines = job.timelines
+    counts = job.counts
+    assert counts is not None  # enforced by ShardJob.__post_init__
+    rng_tag = job.rng_tag
+    batched = job.backend == "batched"
+    exchange_cls = BatchedExchange if batched else Exchange
+    server_cls = BatchedAdServer if batched else AdServer
+    device_cls = LogDevice if batched else Device
+
     registry = RngRegistry(config.seed)
     per_day = epochs_per_day(config.epoch_s)
     first_test = config.train_days * per_day
@@ -196,18 +288,18 @@ def run_prefetch_shard(config: ExperimentConfig,
         predictors[uid] = predictor
 
     exchange = _build_exchange(config, registry, "exchange-prefetch",
-                               rng_tag)
+                               rng_tag, exchange_cls=exchange_cls)
     policy = make_policy(config.policy, **config.policy_kwargs_full())
-    server = AdServer(config.server_config(), exchange, policy, predictors,
-                      registry.fresh("dispatch" + rng_tag))
+    server = server_cls(config.server_config(), exchange, policy, predictors,
+                        registry.fresh("dispatch" + rng_tag))
     server.warm_up({uid: counts[uid][:first_test] for uid in counts})
 
-    devices = {uid: Device(uid, profile_of[uid],
-                           keep_timeline=keep_radio_timeline)
+    devices = {uid: device_cls(uid, job.profile_of[uid],
+                               keep_timeline=job.keep_radio_timeline)
                for uid in timelines}
-    injector = make_injector(config.faults, config.seed, horizon)
+    injector = make_injector(config.faults, config.seed, job.horizon)
     clients = {
-        uid: AdClient(timelines[uid], devices[uid], apps,
+        uid: AdClient(timelines[uid], devices[uid], job.apps,
                       report_delay_s=config.report_delay_s,
                       faults=(injector.for_user(uid)
                               if injector is not None else None))
@@ -218,7 +310,7 @@ def run_prefetch_shard(config: ExperimentConfig,
     obs_recorder = obs.recorder
     for epoch in range(first_test, n_epochs):
         now = epoch * config.epoch_s
-        window_end = min(now + config.epoch_s, horizon)
+        window_end = min(now + config.epoch_s, job.horizon)
         if obs_recorder.enabled:
             obs_recorder.complete(now, window_end - now, "server", "epoch",
                                   args={"epoch": epoch})
@@ -258,7 +350,7 @@ def run_prefetch_shard(config: ExperimentConfig,
 
     wakeups_counter = obs.metrics.counter("radio.wakeups")
     for device in devices.values():
-        device.finish(horizon)
+        device.finish(job.horizon)
         wakeups_counter.inc(device.wakeups)
     _outcomes, sla, revenue = server.finalize()
 
@@ -283,41 +375,19 @@ def run_prefetch_shard(config: ExperimentConfig,
                              clients=clients, server=server)
 
 
-def run_realtime_shard(config: ExperimentConfig,
-                       apps: Sequence[AppProfile],
-                       timelines: Mapping[str, ClientTimeline],
-                       profile_of: Mapping[str, RadioProfile],
-                       horizon: float,
-                       rng_tag: str = "") -> RealtimeOutcome:
+def _execute_realtime(job: ShardJob) -> RealtimeOutcome:
     """Run the status-quo baseline over one user subset (a shard)."""
+    config = job.config
+    batched = job.backend == "batched"
     registry = RngRegistry(config.seed)
-    exchange = _build_exchange(config, registry, "exchange-realtime",
-                               rng_tag, component="realtime.exchange")
+    exchange = _build_exchange(
+        config, registry, "exchange-realtime", job.rng_tag,
+        component="realtime.exchange",
+        exchange_cls=BatchedExchange if batched else Exchange)
     per_day = epochs_per_day(config.epoch_s)
     start = config.train_days * per_day * config.epoch_s
-    injector = make_injector(config.faults, config.seed, horizon)
-    return _run_realtime_engine(dict(timelines), apps, dict(profile_of),
-                                exchange, start, horizon,
-                                injector=injector)
-
-
-def run_prefetch_instrumented(config: ExperimentConfig,
-                              world: World | None = None,
-                              keep_radio_timeline: bool = False
-                              ) -> PrefetchArtifacts:
-    """Whole-population prefetch run returning devices/clients/server too."""
-    world = world or get_world(config)
-    counts = epoch_slot_counts(world.trace, world.refresh_of, config.epoch_s)
-    return run_prefetch_shard(config, world.apps, world.timelines,
-                              world.profile_of, counts, world.trace.horizon,
-                              keep_radio_timeline=keep_radio_timeline)
-
-
-def _headline(config: ExperimentConfig,
-              world: World | None = None) -> Comparison:
-    """Internal whole-population headline comparison (single shard)."""
-    world = world or get_world(config)
-    prefetch = run_prefetch_instrumented(config, world).outcome
-    realtime = run_realtime_shard(config, world.apps, world.timelines,
-                                  world.profile_of, world.trace.horizon)
-    return compare(prefetch, realtime)
+    injector = make_injector(config.faults, config.seed, job.horizon)
+    return _run_realtime_engine(dict(job.timelines), job.apps,
+                                dict(job.profile_of), exchange, start,
+                                job.horizon, injector=injector,
+                                device_cls=LogDevice if batched else Device)

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 from .e1_app_energy import run_e1
 from .e2_tail_energy import run_e2
 from .e3_traces import run_e3
@@ -30,9 +33,11 @@ class Experiment:
     paper_artifact: str
     title: str
     runner: Callable[..., object]
+    #: Whether ``runner`` consumes a generated world (and therefore
+    #: accepts a ``source=`` :class:`repro.runner.WorldSource` kwarg).
     needs_world: bool = True
-    #: Whether ``runner`` accepts a ``jobs=`` kwarg (sharded parallel
-    #: execution via :class:`repro.runner.Runner`).
+    #: Whether ``runner`` accepts ``jobs=`` / ``backend=`` kwargs
+    #: (sharded execution via :class:`repro.runner.Runner`).
     accepts_jobs: bool = False
 
 
@@ -84,11 +89,15 @@ def experiment_ids() -> list[str]:
 
 def run_experiment(experiment_id: str,
                    config: ExperimentConfig | None = None,
-                   jobs: int = 1):
+                   jobs: int = 1, backend: str = "event",
+                   source: "WorldSource | None" = None):
     """Run one experiment by id; returns its figure/table object.
 
-    ``jobs`` is forwarded to experiments that support sharded parallel
-    execution (``accepts_jobs``); others run serially regardless.
+    ``jobs`` and ``backend`` are forwarded to experiments that support
+    sharded execution (``accepts_jobs``); others run serially on the
+    event engine regardless. ``source`` shares one world provider
+    across experiments that consume a generated world (``needs_world``)
+    — e.g. one ``WorldSource`` for a whole ``adprefetch run all``.
     """
     try:
         experiment = EXPERIMENTS[experiment_id]
@@ -96,6 +105,10 @@ def run_experiment(experiment_id: str,
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {experiment_ids()}") from None
+    kwargs: dict[str, object] = {}
+    if experiment.needs_world:
+        kwargs["source"] = source
     if experiment.accepts_jobs:
-        return experiment.runner(config, jobs=jobs)
-    return experiment.runner(config)
+        kwargs["jobs"] = jobs
+        kwargs["backend"] = backend
+    return experiment.runner(config, **kwargs)

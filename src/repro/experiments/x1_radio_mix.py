@@ -16,9 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 WIFI_FRACTIONS = (0.0, 0.3, 0.6, 1.0)
 
@@ -74,14 +79,17 @@ def _row(label: str, comparison) -> RadioMixRow:
 
 
 def run_x1(config: ExperimentConfig | None = None, *,
-           jobs: int = 1) -> RadioMixStudy:
+           jobs: int = 1, backend: str = "event",
+           source: "WorldSource | None" = None) -> RadioMixStudy:
     """Run both radio-technology studies."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
+    source = source or WorldSource()
 
     def headline(variant):
-        return Runner(variant, parallelism=jobs).run("headline").comparison
+        return Runner(variant, parallelism=jobs, backend=backend,
+                      source=source).run("headline").comparison
 
     homogeneous = []
     for radio in ("3g", "lte", "wifi"):

@@ -16,9 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.metrics.summary import fmt_pct, format_table
 
 from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runner import WorldSource
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,17 +57,19 @@ class FastDormancyStudy:
 
 
 def run_x2(config: ExperimentConfig | None = None, *,
-           jobs: int = 1) -> FastDormancyStudy:
+           jobs: int = 1, backend: str = "event",
+           source: "WorldSource | None" = None) -> FastDormancyStudy:
     """Fill the 2x2 grid."""
-    from repro.runner import Runner
+    from repro.runner import Runner, WorldSource
 
     config = config or ExperimentConfig()
+    source = source or WorldSource()
     cells: list[FastDormancyCell] = []
     baseline = None
     for radio in ("3g", "3g-fd"):
         variant = config.variant(radio=radio)
-        comparison = Runner(variant,
-                            parallelism=jobs).run("headline").comparison
+        comparison = Runner(variant, parallelism=jobs, backend=backend,
+                            source=source).run("headline").comparison
         realtime_j = comparison.realtime.energy.ad_joules_per_user_day()
         prefetch_j = comparison.prefetch.energy.ad_joules_per_user_day()
         if baseline is None:

@@ -83,6 +83,11 @@ class RunManifest:
     #: fault-free run. Two runs are comparable exactly when their
     #: (config_hash, seed, fault_plan_hash) triples agree.
     fault_plan_hash: str | None = None
+    #: Shard execution backend ("event" or "batched").
+    backend: str = "event"
+    #: ``ToleranceContract.digest()`` under which a batched run claims
+    #: equivalence to the event engine; ``None`` for event runs.
+    equivalence_contract_hash: str | None = None
     config: dict[str, object] = dataclasses.field(default_factory=dict)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
@@ -99,6 +104,8 @@ class RunManifest:
             "elapsed_s": self.elapsed_s,
             "rng_stream_manifest_hash": self.rng_stream_manifest_hash,
             "fault_plan_hash": self.fault_plan_hash,
+            "backend": self.backend,
+            "equivalence_contract_hash": self.equivalence_contract_hash,
             "counter_totals": {name: self.counter_totals[name]
                                for name in sorted(self.counter_totals)},
             "config": self.config,
@@ -121,6 +128,8 @@ class RunManifest:
         config_raw = payload.get("config", {})
         streams_raw = payload.get("rng_stream_manifest_hash")
         faults_raw = payload.get("fault_plan_hash")
+        backend_raw = payload.get("backend")
+        contract_raw = payload.get("equivalence_contract_hash")
         return cls(
             system=str(payload.get("system", "")),
             seed=_i("seed"),
@@ -135,6 +144,11 @@ class RunManifest:
                                       else None),
             fault_plan_hash=(str(faults_raw)
                              if isinstance(faults_raw, str) else None),
+            backend=(str(backend_raw)
+                     if isinstance(backend_raw, str) else "event"),
+            equivalence_contract_hash=(str(contract_raw)
+                                       if isinstance(contract_raw, str)
+                                       else None),
             config=dict(config_raw) if isinstance(config_raw, dict) else {},
             schema_version=_i("schema_version", MANIFEST_SCHEMA_VERSION),
         )
@@ -159,7 +173,9 @@ class RunManifest:
 def build_manifest(config: "ExperimentConfig", *, system: str,
                    n_shards: int, parallelism: int, trace_enabled: bool,
                    elapsed_s: float,
-                   counter_totals: dict[str, float] | None = None
+                   counter_totals: dict[str, float] | None = None,
+                   backend: str = "event",
+                   equivalence_contract_hash: str | None = None
                    ) -> RunManifest:
     """Assemble the manifest for one completed run."""
     return RunManifest(
@@ -174,5 +190,7 @@ def build_manifest(config: "ExperimentConfig", *, system: str,
         rng_stream_manifest_hash=streams_manifest_hash(),
         fault_plan_hash=(config.faults.digest()
                          if not config.faults.is_empty else None),
+        backend=backend,
+        equivalence_contract_hash=equivalence_contract_hash,
         config=config_jsonable(config),
     )

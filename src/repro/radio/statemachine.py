@@ -71,8 +71,17 @@ class RadioStateMachine:
 
     Transfers must be submitted in non-decreasing ``request_time`` order;
     a transfer requested while the radio is busy queues behind the
-    in-flight one (single radio, serialized use). Call :meth:`finalize`
-    once the run ends to settle the last transfer's tail.
+    in-flight one (single radio, serialized use).
+
+    **Settlement contract.** :meth:`finalize` is the *only* settlement
+    path: it charges the last transfer's pending tail (truncated at
+    ``end_time`` when the run ends mid-tail) and freezes the machine.
+    Everything after it — :meth:`energy_by_tag`,
+    :meth:`communication_energy`, :meth:`total_energy` — is a pure
+    accessor over already-settled charges; none of them settles anything
+    implicitly. Pass the same horizon to ``finalize(end_time=h)`` and
+    ``total_energy(horizon=h)``: the former decides how much tail falls
+    inside the run, the latter adds the idle floor for the remainder.
 
     Parameters
     ----------
@@ -94,6 +103,7 @@ class RadioStateMachine:
         self._busy_until = 0.0                     # end of in-flight transfer
         self._wakeups = 0
         self._finalized = False
+        self._active_time = 0.0                    # seconds in any non-idle state
         self._keep_timeline = keep_timeline
         self._timeline: list[StateInterval] = []
         self._timeline_cursor = 0.0
@@ -225,9 +235,14 @@ class RadioStateMachine:
     def finalize(self, end_time: float | None = None) -> None:
         """Settle the trailing tail; no further transfers are accepted.
 
+        This is the single settlement path (see the class docstring):
+        after it returns, every charge — including the last tail — is
+        final, and the reporting accessors are pure reads.
+
         ``end_time`` (if given) caps the trailing tail — a run that ends
         mid-tail only charges the portion inside the simulated horizon —
         and extends the recorded idle timeline up to the horizon.
+        Idempotent: repeated calls are no-ops.
         """
         if self._finalized:
             return
@@ -258,19 +273,33 @@ class RadioStateMachine:
         """
         return dict(self._energy_by_tag)
 
+    @property
+    def active_time(self) -> float:
+        """Seconds spent in any non-idle state (promo, active, tails).
+
+        Tracked incrementally, so it is exact with or without
+        ``keep_timeline``. Tail time is counted when the tail settles.
+        """
+        return self._active_time
+
     def total_energy(self, horizon: float | None = None) -> float:
         """Total radio energy including the idle floor over ``horizon`` seconds.
 
         Without a horizon, returns just the communication energy (the sum
-        of all per-transfer charges).
+        of all per-transfer charges). With one, the machine must already
+        be settled via ``finalize(end_time=horizon)`` — otherwise the
+        pending tail would be silently missing from both the
+        communication energy and the active time.
         """
         comm = sum(self._energy_by_tag.values())
         if horizon is None:
             return comm
-        active_time = sum(
-            iv.duration for iv in self._timeline if iv.state != STATE_IDLE
-        ) if self._keep_timeline else 0.0
-        return comm + self.profile.idle_power * max(horizon - active_time, 0.0)
+        if not self._finalized:
+            raise RuntimeError(
+                "total_energy(horizon) before finalize(): call "
+                "finalize(end_time=horizon) to settle the pending tail first")
+        return comm + self.profile.idle_power * max(
+            horizon - self._active_time, 0.0)
 
     def communication_energy(self) -> float:
         """Sum of all per-transfer marginal charges (no idle floor)."""
@@ -297,7 +326,11 @@ class RadioStateMachine:
     # ------------------------------------------------------------------
 
     def _note_state(self, start: float, end: float, state: str) -> None:
-        if not self._keep_timeline or end <= start:
+        if end <= start:
+            return
+        if state != STATE_IDLE:
+            self._active_time += end - start
+        if not self._keep_timeline:
             return
         if start > self._timeline_cursor:
             self._timeline.append(

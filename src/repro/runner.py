@@ -52,11 +52,13 @@ import numpy as np
 from repro.client.timeline import ClientTimeline
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import (
+    BACKENDS,
     PrefetchArtifacts,
+    ShardJob,
     World,
     build_world,
-    run_prefetch_shard,
-    run_realtime_shard,
+    execute_shard,
+    shard_rng_tag,
     world_from_trace,
 )
 from repro.metrics.accumulators import (
@@ -83,6 +85,7 @@ from repro.obs.runtime import (
 )
 from repro.obs.trace import MemoryRecorder, TraceEvent, write_chrome, write_jsonl
 from repro.radio.profiles import RadioProfile
+from repro.sim.batched import DEFAULT_CONTRACT
 from repro.traces.stats import epoch_slot_counts
 from repro.workloads.appstore import TOP15, AppProfile
 
@@ -126,19 +129,8 @@ def partition_users(user_ids: Sequence[str],
     return chunks
 
 
-def shard_rng_tag(shard_index: int, n_shards: int) -> str:
-    """RNG-stream namespace for one shard.
-
-    Empty for a single shard (the historical stream names), so the
-    legacy serial API reproduces its pre-sharding results exactly.
-    """
-    if n_shards == 1:
-        return ""
-    return f"#shard{shard_index}/{n_shards}"
-
-
 # ----------------------------------------------------------------------
-# World cache (replaces the old process-global _WORLD_CACHE dict)
+# World provisioning: cache + explicit source (no module-global state)
 # ----------------------------------------------------------------------
 
 
@@ -239,22 +231,49 @@ class WorldCache:
         self._worlds.clear()
 
 
-_DEFAULT_CACHE: WorldCache | None = None
+class WorldSource:
+    """Explicit world provider owned by whoever runs shards.
 
+    Replaces the historical module-global world cache: shard execution
+    no longer consults hidden process state — callers hand a
+    ``WorldSource`` (or the ``Runner`` builds a private one) and every
+    world lookup is visible in the object graph.
 
-def default_world_cache() -> WorldCache:
-    """The process-wide world cache used by ``Runner`` and ``get_world``.
-
-    Spills traces to :func:`default_spill_dir` only when
-    ``REPRO_CACHE_DIR`` is set, so plain test runs never touch the
-    user's home directory.
+    Parameters
+    ----------
+    cache:
+        The backing :class:`WorldCache`. ``None`` builds a private
+        cache that spills traces to :func:`default_spill_dir` only when
+        ``REPRO_CACHE_DIR`` is set, so plain test runs never touch the
+        user's home directory.
+    world:
+        Pin a pre-built :class:`World`: every lookup returns it,
+        bypassing the cache (sweeps sharing one trace across config
+        variants).
+    apps:
+        App catalog used when a world must be built.
     """
-    global _DEFAULT_CACHE
-    if _DEFAULT_CACHE is None:
-        spill = (default_spill_dir()
-                 if os.environ.get("REPRO_CACHE_DIR") else None)
-        _DEFAULT_CACHE = WorldCache(spill_dir=spill)
-    return _DEFAULT_CACHE
+
+    def __init__(self, cache: WorldCache | None = None,
+                 world: World | None = None,
+                 apps: Sequence[AppProfile] = TOP15) -> None:
+        if cache is None:
+            spill = (default_spill_dir()
+                     if os.environ.get("REPRO_CACHE_DIR") else None)
+            cache = WorldCache(spill_dir=spill)
+        self.cache = cache
+        self.world = world
+        self.apps = tuple(apps)
+
+    def world_for(self, config: ExperimentConfig) -> World:
+        """The world for ``config`` (the pinned world, if any)."""
+        if self.world is not None:
+            return self.world
+        return self.cache.get(config, self.apps)
+
+    def clear(self) -> None:
+        """Drop cached worlds (the pinned world, if any, survives)."""
+        self.cache.clear()
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +300,16 @@ class ShardTask:
     counts: dict[str, np.ndarray]
     horizon: float
     trace: bool = False
+    backend: str = "event"
+
+    def to_job(self) -> ShardJob:
+        """The :class:`ShardJob` this task executes."""
+        return ShardJob(
+            config=self.config, mode=self.system, apps=self.apps,
+            timelines=self.timelines, profile_of=self.profile_of,
+            counts=self.counts, horizon=self.horizon,
+            shard_index=self.shard_index, n_shards=self.n_shards,
+            backend=self.backend)
 
 
 @dataclass(slots=True)
@@ -316,21 +345,16 @@ def _run_shard(task: ShardTask) -> ShardResult:
     recorder = (MemoryRecorder(shard=task.shard_index) if task.trace
                 else None)
     obs = Obs.create(recorder)
-    tag = shard_rng_tag(task.shard_index, task.n_shards)
     result = ShardResult(shard_index=task.shard_index,
                          n_users=len(task.timelines))
     with activate(obs), profiler.phase("shard.execute"):
-        if task.system in ("prefetch", "headline"):
-            artifacts: PrefetchArtifacts = run_prefetch_shard(
-                task.config, task.apps, task.timelines, task.profile_of,
-                task.counts, task.horizon, rng_tag=tag)
+        execution = execute_shard(task.to_job())
+        if execution.prefetch is not None:
+            artifacts: PrefetchArtifacts = execution.prefetch
             result.prefetch = artifacts.outcome
             result.replication_weight = float(
                 sum(1 for s in artifacts.server.plan_stats if s.sold))
-        if task.system in ("realtime", "headline"):
-            result.realtime = run_realtime_shard(
-                task.config, task.apps, task.timelines, task.profile_of,
-                task.horizon, rng_tag=tag)
+        result.realtime = execution.realtime
     result.metrics = obs.metrics.snapshot()
     result.events = obs.recorder.events() if task.trace else None
     stats = profiler.snapshot().phases.get("shard.execute")
@@ -442,15 +466,25 @@ class Runner:
         a semantic knob — each shard serves a shard-local ad-server
         view — so it is derived from the config, never from
         ``parallelism``.
+    backend:
+        Shard execution backend: ``"event"`` (the reference discrete
+        event engine) or ``"batched"`` (vectorized components verified
+        equivalent; see :mod:`repro.sim.batched`). Purely an execution
+        knob under the equivalence contract.
+    source:
+        Explicit :class:`WorldSource` to draw worlds from. ``None``
+        builds one from the ``cache``/``world``/``apps`` convenience
+        parameters below.
     cache:
-        The :class:`WorldCache` to draw worlds from (defaults to the
-        process-wide cache).
+        The :class:`WorldCache` to draw worlds from (ignored when
+        ``source`` is given).
     world:
         Pre-built :class:`World` to reuse, bypassing the cache (sweeps
-        sharing one trace across config variants).
+        sharing one trace across config variants; ignored when
+        ``source`` is given).
     apps:
         App catalog for world construction (defaults to the paper's
-        top-15 catalog).
+        top-15 catalog; ignored when ``source`` is given).
     obs:
         Observability options (tracing, artifact directory). ``None``
         falls back to the process default installed by the CLI's
@@ -462,6 +496,8 @@ class Runner:
     def __init__(self, config: ExperimentConfig, *,
                  parallelism: int = 1,
                  shards: int | None = None,
+                 backend: str = "event",
+                 source: WorldSource | None = None,
                  cache: WorldCache | None = None,
                  world: World | None = None,
                  apps: Sequence[AppProfile] = TOP15,
@@ -470,12 +506,15 @@ class Runner:
             raise ValueError("parallelism must be >= 1")
         if shards is not None and shards < 1:
             raise ValueError("shards must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.config = config
         self.parallelism = int(parallelism)
         self.shards = shards
-        self.cache = cache
-        self.world = world
-        self.apps = tuple(apps)
+        self.backend = backend
+        self.source = (source if source is not None
+                       else WorldSource(cache=cache, world=world, apps=apps))
         self.obs = obs
 
     def resolve_shards(self, n_users: int) -> int:
@@ -503,6 +542,7 @@ class Runner:
                 counts={uid: counts[uid] for uid in chunk},
                 horizon=world.trace.horizon,
                 trace=trace,
+                backend=self.backend,
             ))
         return tasks
 
@@ -523,12 +563,8 @@ class Runner:
         trace = bool(options.trace) if options is not None else False
         profiler = PhaseProfiler()
         started = time.perf_counter()
-        world = self.world
-        if world is None:
-            cache = self.cache if self.cache is not None \
-                else default_world_cache()
-            with profiler.phase("world.build"):
-                world = cache.get(self.config, self.apps)
+        with profiler.phase("world.build"):
+            world = self.source.world_for(self.config)
         tasks = self._tasks(system, world, trace)
         workers = min(self.parallelism, len(tasks))
         with profiler.phase("shards.execute"):
@@ -559,7 +595,11 @@ class Runner:
         manifest = build_manifest(
             self.config, system=system, n_shards=len(tasks),
             parallelism=self.parallelism, trace_enabled=trace,
-            elapsed_s=elapsed_s, counter_totals=metrics.counters)
+            elapsed_s=elapsed_s, counter_totals=metrics.counters,
+            backend=self.backend,
+            equivalence_contract_hash=(DEFAULT_CONTRACT.digest()
+                                       if self.backend == "batched"
+                                       else None))
         profile = profiler.snapshot()
         artifacts_dir = self._write_artifacts(
             options, result_system=system, manifest=manifest,

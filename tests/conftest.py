@@ -6,11 +6,16 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import World, get_world
+from repro.experiments.harness import World
 from repro.radio.profiles import THREE_G
+from repro.runner import WorldSource
 from repro.sim.rng import RngRegistry
 from repro.workloads.appstore import TOP15
 from repro.workloads.population import PopulationConfig, build_population
+
+#: One world provider for the whole test session (session-scoped world
+#: fixtures share it, so each tiny world is built exactly once).
+_SOURCE = WorldSource()
 
 
 @pytest.fixture(scope="session")
@@ -26,8 +31,13 @@ def tiny_config() -> ExperimentConfig:
 
 
 @pytest.fixture(scope="session")
+def world_source() -> WorldSource:
+    return _SOURCE
+
+
+@pytest.fixture(scope="session")
 def tiny_world(tiny_config) -> World:
-    return get_world(tiny_config)
+    return _SOURCE.world_for(tiny_config)
 
 
 @pytest.fixture(scope="session")

@@ -9,9 +9,9 @@ from repro.exchange.auction import AuctionConfig
 from repro.exchange.campaign import Campaign
 from repro.exchange.marketplace import Exchange
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import get_world, run_prefetch_instrumented
+from repro.experiments.harness import ShardJob, execute_shard
 from repro.prediction.models import TimeOfDayMeanPredictor
-from repro.runner import Runner
+from repro.runner import Runner, WorldSource
 from repro.server.adserver import AdServer, ServerConfig
 from repro.sim.rng import RngRegistry
 
@@ -23,21 +23,28 @@ def _headline(config, world=None):
     return Runner(config, world=world).run("headline").comparison
 
 
+def _prefetch_outcome(config, world):
+    """Whole-population prefetch outcome via the ShardJob API."""
+    execution = execute_shard(ShardJob.for_world(config, world,
+                                                 mode="prefetch"))
+    assert execution.prefetch is not None
+    return execution.prefetch.outcome
+
+
 def test_demand_collapse_mid_run():
     """Campaign budgets exhaust during the test window: unsold inventory
     must surface as unfilled/house slots, not crashes or phantom money."""
     config = ExperimentConfig(n_users=25, n_days=6, train_days=3, seed=31,
                               n_campaigns=6)
-    world = get_world(config)
+    world = WorldSource().world_for(config)
     # Tiny budgets: demand dies quickly.
-    import repro.experiments.harness as harness_module
     from repro.exchange.campaign import CampaignPoolConfig
 
     original = ExperimentConfig.campaign_config
     try:
         ExperimentConfig.campaign_config = lambda self: CampaignPoolConfig(
             n_campaigns=6, budget_median=50.0, budget_sigma=0.2)
-        result = run_prefetch_instrumented(config, world).outcome
+        result = _prefetch_outcome(config, world)
     finally:
         ExperimentConfig.campaign_config = original
     assert result.house_displays > 0
@@ -52,10 +59,10 @@ def test_population_with_silent_users():
     """Users who never produce a session must not break planning."""
     config = ExperimentConfig(n_users=30, n_days=6, train_days=3, seed=17,
                               median_sessions_per_day=0.8)
-    world = get_world(config)
+    world = WorldSource().world_for(config)
     silent = [uid for uid, t in world.timelines.items() if len(t) == 0]
     assert silent, "seed should produce at least one silent user"
-    result = run_prefetch_instrumented(config, world).outcome
+    result = _prefetch_outcome(config, world)
     assert result.sla.n_sales >= 0
 
 
@@ -104,7 +111,7 @@ def test_single_user_world_runs():
 
 def test_extreme_epsilon_values():
     base = ExperimentConfig(n_users=20, n_days=6, train_days=3, seed=41)
-    world = get_world(base)
+    world = WorldSource().world_for(base)
     strict = _headline(base.variant(epsilon=0.001, max_replicas=4), world)
     loose = _headline(base.variant(epsilon=0.9, max_replicas=4), world)
     # Stricter epsilon can only add replication.
@@ -113,7 +120,7 @@ def test_extreme_epsilon_values():
 
 def test_house_fallback_mode_loses_revenue_not_correctness():
     base = ExperimentConfig(n_users=25, n_days=6, train_days=3, seed=23)
-    world = get_world(base)
+    world = WorldSource().world_for(base)
     realtime_fb = _headline(base, world)
     house_fb = _headline(base.variant(fallback="house"), world)
     assert house_fb.prefetch.house_displays > 0

@@ -1,16 +1,16 @@
-"""Tests for world construction (caching, radio mixes, determinism)."""
+"""Tests for world construction (WorldSource, radio mixes, determinism)."""
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import clear_world_cache, get_world
 from repro.radio.profiles import THREE_G, WIFI
+from repro.runner import WorldCache, WorldSource
 
 
 def test_wifi_fraction_assigns_profiles():
     config = ExperimentConfig(n_users=60, n_days=6, train_days=3, seed=3,
                               wifi_fraction=0.4)
-    world = get_world(config)
+    world = WorldSource().world_for(config)
     wifi_users = [uid for uid, p in world.profile_of.items() if p is WIFI]
     cellular = [uid for uid, p in world.profile_of.items() if p is THREE_G]
     assert len(wifi_users) + len(cellular) == 60
@@ -22,7 +22,8 @@ def test_wifi_fraction_changes_world_key():
                          wifi_fraction=0.0)
     b = a.variant(wifi_fraction=0.5)
     assert a.world_key() != b.world_key()
-    assert get_world(a) is not get_world(b)
+    source = WorldSource()
+    assert source.world_for(a) is not source.world_for(b)
 
 
 def test_wifi_fraction_validation():
@@ -30,12 +31,47 @@ def test_wifi_fraction_validation():
         ExperimentConfig(wifi_fraction=1.5)
 
 
+def test_world_source_caches_per_key():
+    config = ExperimentConfig(n_users=10, n_days=6, train_days=3, seed=5)
+    source = WorldSource()
+    assert source.world_for(config) is source.world_for(config)
+    assert source.cache.hits == 1 and source.cache.misses == 1
+
+
+def test_world_source_clear_drops_cached_worlds():
+    config = ExperimentConfig(n_users=10, n_days=6, train_days=3, seed=5)
+    source = WorldSource()
+    first = source.world_for(config)
+    source.clear()
+    second = source.world_for(config)
+    assert first is not second
+    assert source.cache.misses == 2
+
+
+def test_world_source_pinned_world_bypasses_cache():
+    config = ExperimentConfig(n_users=10, n_days=6, train_days=3, seed=5)
+    other = config.variant(seed=6)
+    world = WorldSource().world_for(config)
+    pinned = WorldSource(world=world)
+    assert pinned.world_for(other) is world
+    assert pinned.cache.misses == 0
+
+
+def test_world_sources_are_independent():
+    """No hidden module state: separate sources build separate worlds."""
+    config = ExperimentConfig(n_users=10, n_days=6, train_days=3, seed=5)
+    a = WorldSource(cache=WorldCache())
+    b = WorldSource(cache=WorldCache())
+    assert a.world_for(config) is not b.world_for(config)
+
+
 def test_radio_assignment_is_deterministic():
     config = ExperimentConfig(n_users=40, n_days=6, train_days=3, seed=9,
                               wifi_fraction=0.3)
-    first = dict(get_world(config).profile_of)
-    clear_world_cache()
-    second = dict(get_world(config).profile_of)
+    source = WorldSource()
+    first = dict(source.world_for(config).profile_of)
+    source.clear()
+    second = dict(source.world_for(config).profile_of)
     assert {u: p.name for u, p in first.items()} == {
         u: p.name for u, p in second.items()}
 
@@ -45,9 +81,9 @@ def test_radio_assignment_independent_of_trace():
     WiFi (the assignment stream must not perturb trace generation)."""
     base = ExperimentConfig(n_users=30, n_days=6, train_days=3, seed=77)
     mixed = base.variant(wifi_fraction=0.5)
-    clear_world_cache()
-    trace_a = get_world(base).trace
-    trace_b = get_world(mixed).trace
+    source = WorldSource()
+    trace_a = source.world_for(base).trace
+    trace_b = source.world_for(mixed).trace
     sessions_a = [(s.user_id, s.start) for s in trace_a.all_sessions()]
     sessions_b = [(s.user_id, s.start) for s in trace_b.all_sessions()]
     assert sessions_a == sessions_b
@@ -60,7 +96,7 @@ def test_stream_collapse_follows_user_profile():
 
     config = ExperimentConfig(n_users=60, n_days=6, train_days=3, seed=3,
                               wifi_fraction=0.4)
-    world = get_world(config)
+    world = WorldSource().world_for(config)
     for uid, timeline in world.timelines.items():
         has_stream = bool((timeline.kinds == KIND_APP_STREAM).any())
         if world.profile_of[uid] is WIFI:

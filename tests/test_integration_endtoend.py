@@ -7,17 +7,21 @@ claims at miniature scale.
 
 import pytest
 
-from repro.experiments.harness import (
-    get_world,
-    run_prefetch_instrumented,
-    run_realtime_shard,
-)
-from repro.runner import Runner
+from repro.experiments.harness import ShardJob, execute_shard
+from repro.runner import Runner, WorldSource
 
 
 def _headline(config, world):
     """Whole-population headline comparison via the Runner API."""
     return Runner(config, world=world).run("headline").comparison
+
+
+def _prefetch_artifacts(config, world):
+    """Whole-population instrumented prefetch run via the ShardJob API."""
+    execution = execute_shard(ShardJob.for_world(config, world,
+                                                 mode="prefetch"))
+    assert execution.prefetch is not None
+    return execution.prefetch
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +30,8 @@ def headline(tiny_config, tiny_world):
 
 
 def test_world_is_cached_and_deterministic(tiny_config):
-    assert get_world(tiny_config) is get_world(tiny_config)
+    source = WorldSource()
+    assert source.world_for(tiny_config) is source.world_for(tiny_config)
 
 
 def test_slot_conservation(headline, tiny_world, tiny_config):
@@ -84,21 +89,19 @@ def test_prefetch_reduces_ad_energy_not_app_energy(headline):
 
 
 def test_runs_are_deterministic(tiny_config, tiny_world):
-    a = run_prefetch_instrumented(tiny_config, tiny_world).outcome
-    b = run_prefetch_instrumented(tiny_config, tiny_world).outcome
+    a = _prefetch_artifacts(tiny_config, tiny_world).outcome
+    b = _prefetch_artifacts(tiny_config, tiny_world).outcome
     assert a.energy.ad_joules == pytest.approx(b.energy.ad_joules)
     assert a.sla.n_violated == b.sla.n_violated
     assert a.revenue.total_billed == pytest.approx(b.revenue.total_billed)
-    w = tiny_world
-    ra = run_realtime_shard(tiny_config, w.apps, w.timelines, w.profile_of,
-                            w.trace.horizon)
-    rb = run_realtime_shard(tiny_config, w.apps, w.timelines, w.profile_of,
-                            w.trace.horizon)
+    job = ShardJob.for_world(tiny_config, tiny_world, mode="realtime")
+    ra = execute_shard(job).realtime
+    rb = execute_shard(job).realtime
     assert ra.billed_revenue == pytest.approx(rb.billed_revenue)
 
 
 def test_instrumented_run_exposes_consistent_state(tiny_config, tiny_world):
-    artifacts = run_prefetch_instrumented(tiny_config, tiny_world)
+    artifacts = _prefetch_artifacts(tiny_config, tiny_world)
     outcome = artifacts.outcome
     assert len(artifacts.devices) == tiny_world.trace.n_users
     assert len(artifacts.clients) == tiny_world.trace.n_users

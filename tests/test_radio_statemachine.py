@@ -162,3 +162,76 @@ def test_single_tail_technology_has_no_low_tail():
     m.transfer(0.0, 4000, "ad")
     m.finalize()
     assert STATE_LOW_TAIL not in m.state_residency()
+
+
+# ----------------------------------------------------------------------
+# Settlement contract: finalize() settles, total_energy() only reads
+# ----------------------------------------------------------------------
+
+
+def test_tail_energy_at_horizon_boundary():
+    """Regression: the trailing tail charged by ``finalize(end_time)``
+    must track the horizon exactly across the boundary cases."""
+    # (a) Horizon cuts inside the high-power tail stage.
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    cut = 0.5 * P.high_tail_time
+    m.finalize(end_time=rec.end_time + cut)
+    assert rec.tail_energy == pytest.approx(P.high_tail_power * cut)
+
+    # (b) Horizon cuts inside the low-power tail stage.
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    low_cut = 2.0
+    m.finalize(end_time=rec.end_time + P.high_tail_time + low_cut)
+    assert rec.tail_energy == pytest.approx(
+        P.high_tail_power * P.high_tail_time + P.low_tail_power * low_cut)
+
+    # (c) Horizon exactly at the end of the full tail == no horizon.
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    m.finalize(end_time=rec.end_time + P.tail_time)
+    assert rec.tail_energy == pytest.approx(P.tail_energy)
+
+    # (d) Horizon before the transfer even ends: no tail at all.
+    m = RadioStateMachine(P)
+    rec = m.transfer(0.0, 4000, "ad")
+    m.finalize(end_time=rec.end_time - 0.5)
+    assert rec.tail_energy == 0.0
+
+
+def test_total_energy_requires_settlement():
+    """``total_energy(horizon)`` is a pure accessor: it refuses to run
+    before ``finalize`` because the pending tail would be missing."""
+    m = RadioStateMachine(P)
+    m.transfer(0.0, 4000, "ad")
+    with pytest.raises(RuntimeError, match="finalize"):
+        m.total_energy(horizon=3600.0)
+    # Without a horizon it is just the settled communication energy.
+    assert m.total_energy() == pytest.approx(m.communication_energy())
+    m.finalize(end_time=3600.0)
+    assert m.total_energy(horizon=3600.0) == pytest.approx(
+        m.communication_energy()
+        + P.idle_power * (3600.0 - m.active_time))
+
+
+def test_active_time_tracked_without_timeline():
+    """Active (non-idle) time no longer depends on ``keep_timeline`` —
+    both modes agree with the recorded state residency."""
+    def drive(machine):
+        rec = machine.transfer(10.0, 4000, "ad")
+        rec = machine.transfer(rec.end_time + 2.0, 50_000, "app")
+        machine.transfer(rec.end_time + P.tail_time + 60.0, 4000, "ad")
+        machine.finalize(end_time=7200.0)
+        return machine
+
+    lean = drive(RadioStateMachine(P))
+    rich = drive(RadioStateMachine(P, keep_timeline=True))
+    residency = rich.state_residency()
+    non_idle = sum(sec for state, sec in residency.items()
+                   if state != STATE_IDLE)
+    assert rich.active_time == pytest.approx(non_idle)
+    assert lean.active_time == pytest.approx(rich.active_time)
+    assert lean.total_energy(horizon=7200.0) == pytest.approx(
+        rich.total_energy(horizon=7200.0))
+    assert lean.total_energy(horizon=7200.0) > lean.communication_energy()

@@ -55,17 +55,6 @@ class TestDeterminism:
             """)
         assert rules_of(findings) == {"RPR001"}
 
-    def test_numpy_global_state_flagged(self):
-        findings = lint("""
-            import numpy as np
-
-            def noise():
-                np.random.seed(0)
-                return np.random.rand(4)
-            """)
-        assert len(findings) == 2
-        assert rules_of(findings) == {"RPR001"}
-
     def test_wall_clock_flagged(self):
         findings = lint("""
             import time
@@ -279,6 +268,100 @@ class TestRngStreams:
             def build(registry, uid):
                 return registry.fresh(f"{PREFIX}:{uid}")
             """) == []
+
+
+# ---------------------------------------------------------------------
+# RPR005 — nondeterministic numpy entry points
+# ---------------------------------------------------------------------
+
+
+class TestNumpyEntropy:
+    def test_numpy_global_state_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def noise():
+                np.random.seed(0)
+                return np.random.rand(4)
+            """)
+        assert len(findings) == 2
+        assert rules_of(findings) == {"RPR005"}
+        assert "hidden global RandomState" in findings[0].message
+
+    def test_unseeded_default_rng_flagged_even_in_rng_home(self):
+        # RPR002 grants repro/sim/rng.py construction amnesty; RPR005
+        # does not — the registry itself must seed everything it builds.
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """, path="src/repro/sim/rng.py")
+        assert rules_of(findings) == {"RPR005"}
+        assert "explicit seed" in findings[0].message
+
+    def test_none_seed_is_unseeded(self):
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(seed=None)
+            """, path="src/repro/sim/rng.py")
+        assert rules_of(findings) == {"RPR005"}
+
+    def test_unseeded_seedsequence_flagged(self):
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.SeedSequence()
+            """, path="src/repro/sim/rng.py")
+        assert rules_of(findings) == {"RPR005"}
+
+    def test_seeded_construction_in_rng_home_passes(self):
+        assert lint("""
+            import numpy as np
+
+            def make(seed: int) -> np.random.Generator:
+                return np.random.Generator(np.random.PCG64(seed))
+            """, path="src/repro/sim/rng.py") == []
+
+    def test_unseeded_outside_home_gets_both_rules(self):
+        # Outside the home module the same call is two violations:
+        # construction out of place (RPR002) and entropy seeding (RPR005).
+        findings = lint("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """)
+        assert rules_of(findings) == {"RPR002", "RPR005"}
+
+    def test_system_random_always_flagged(self):
+        findings = lint("""
+            import random
+
+            def token():
+                return random.SystemRandom().random()
+            """, path="src/repro/sim/rng.py")
+        assert rules_of(findings) == {"RPR005"}
+        assert "OS-entropy" in findings[0].message
+
+    def test_threaded_generator_draw_passes(self):
+        assert lint("""
+            import numpy as np
+
+            def draw(rng: np.random.Generator, n: int):
+                return rng.poisson(2.0, n)
+            """) == []
+
+    def test_kwargs_splat_gets_benefit_of_the_doubt(self):
+        assert lint("""
+            import numpy as np
+
+            def make(**kwargs):
+                return np.random.default_rng(**kwargs)
+            """, path="src/repro/sim/rng.py") == []
 
 
 # ---------------------------------------------------------------------

@@ -5,15 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import (
-    run_prefetch_instrumented,
-    run_realtime_shard,
-)
+from repro.experiments.harness import ShardJob, execute_shard
 from repro.metrics.outcomes import compare
 from repro.runner import (
     Runner,
     RunResult,
     WorldCache,
+    WorldSource,
     auto_shard_count,
     partition_users,
     shard_rng_tag,
@@ -79,11 +77,8 @@ def test_runner_is_deterministic_across_calls(tiny_config, shard_world):
 def test_single_shard_matches_legacy_serial_run(tiny_config, shard_world):
     """shards=1 reproduces the pre-sharding serial harness exactly."""
     result = Runner(tiny_config, shards=1, world=shard_world).run("headline")
-    w = shard_world
-    prefetch = run_prefetch_instrumented(tiny_config, w).outcome
-    realtime = run_realtime_shard(tiny_config, w.apps, w.timelines,
-                                  w.profile_of, w.trace.horizon)
-    legacy = compare(prefetch, realtime)
+    execution = execute_shard(ShardJob.for_world(tiny_config, shard_world))
+    legacy = compare(execution.prefetch.outcome, execution.realtime)
     assert result.prefetch.energy == legacy.prefetch.energy
     assert result.prefetch.revenue == legacy.prefetch.revenue
     assert result.prefetch.sla.n_sales == legacy.prefetch.sla.n_sales
@@ -116,6 +111,21 @@ def test_run_result_value_and_validation(tiny_config, shard_world):
         Runner(tiny_config, parallelism=0)
     with pytest.raises(ValueError):
         Runner(tiny_config, shards=0)
+    with pytest.raises(ValueError):
+        Runner(tiny_config, backend="quantum")
+
+
+def test_runner_owns_explicit_world_source(tiny_config, shard_world):
+    """Runner resolves worlds through its own WorldSource — no module
+    state; an explicit source is honoured as given."""
+    source = WorldSource(world=shard_world)
+    runner = Runner(tiny_config, source=source)
+    assert runner.source is source
+    result = runner.run("realtime")
+    assert result.realtime is not None
+    # Convenience params build a private source.
+    implicit = Runner(tiny_config, world=shard_world)
+    assert implicit.source.world is shard_world
 
 
 # ----------------------------------------------------------------------
@@ -178,7 +188,10 @@ def test_legacy_wrappers_are_gone():
     deprecation cycle; the shard cores and Runner are the API."""
     import repro
     import repro.experiments.harness as harness
-    for name in ("run_prefetch", "run_realtime", "run_headline"):
+    for name in ("run_prefetch", "run_realtime", "run_headline",
+                 "run_prefetch_shard", "run_realtime_shard",
+                 "run_prefetch_instrumented", "get_world",
+                 "clear_world_cache"):
         assert not hasattr(harness, name)
         assert not hasattr(repro, name)
 
