@@ -14,13 +14,23 @@ from repro.experiments.e10_dispatch import run_e10
 
 def test_e10_dispatch_ablation(benchmark, config, record_table):
     ablation = run_once(benchmark, run_e10, config)
-    record_table("e10", ablation.render(), result=ablation, config=config)
-
     staggered = ablation.row_for("staggered")
     backfill = ablation.row_for("greedy-backfill")
     random_k = ablation.row_for("random-k")
     single = ablation.row_for("no-replication")
     full = ablation.row_for("staggered+rescue")
+    record_table("e10", ablation.render(), result=ablation, config=config,
+                 metrics={
+                     "staggered.sla_violation_rate":
+                         staggered.sla_violation_rate,
+                     "staggered.duplicates_per_sale":
+                         staggered.duplicates_per_sale,
+                     "staggered.mean_replication":
+                         staggered.mean_replication,
+                     "random_k.sla_violation_rate":
+                         random_k.sla_violation_rate,
+                     "full.sla_violation_rate": full.sla_violation_rate,
+                 })
 
     # Probability-aware placement beats random placement on violations,
     # duplicates, and copies used — the overbooking model's value.

@@ -11,12 +11,20 @@ from repro.experiments.e11_predictor import run_e11
 
 def test_e11_predictor_ablation(benchmark, config, record_table):
     ablation = run_once(benchmark, run_e11, config)
-    record_table("e11", ablation.render(), result=ablation, config=config)
-
     oracle = ablation.row_for("oracle")
     ewma = ablation.row_for("ewma")
     tod = ablation.row_for("time_of_day")
     last = ablation.row_for("last_value")
+    record_table("e11", ablation.render(), result=ablation, config=config,
+                 metrics={
+                     "oracle.energy_savings": oracle.energy_savings,
+                     "ewma.energy_savings": ewma.energy_savings,
+                     "ewma.sla_violation_rate": ewma.sla_violation_rate,
+                     "time_of_day.sla_violation_rate":
+                         tod.sla_violation_rate,
+                     "last_value.sla_violation_rate":
+                         last.sla_violation_rate,
+                 })
 
     # Oracle is the upper bound on savings.
     for row in ablation.rows:

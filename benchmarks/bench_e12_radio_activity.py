@@ -13,7 +13,20 @@ def test_e12_radio_activity(benchmark, record_table):
     # Timelines are memory-hungry: use a reduced population.
     config = bench_config(n_users=60)
     figure = run_once(benchmark, run_e12, config)
-    record_table("e12", figure.render(), result=figure, config=config)
+    rt = figure.realtime_residency
+    pf = figure.prefetch_residency
+    record_table("e12", figure.render(), result=figure, config=config,
+                 metrics={
+                     "wakeup_reduction": figure.wakeup_reduction,
+                     "realtime.wakeups_per_user_day":
+                         figure.realtime_wakeups_per_user_day,
+                     "prefetch.wakeups_per_user_day":
+                         figure.prefetch_wakeups_per_user_day,
+                     "realtime.tail_residency":
+                         rt.get("high_tail", 0.0) + rt.get("low_tail", 0.0),
+                     "prefetch.tail_residency":
+                         pf.get("high_tail", 0.0) + pf.get("low_tail", 0.0),
+                 })
 
     assert figure.wakeup_reduction > 0.15
     assert (figure.prefetch_wakeups_per_user_day

@@ -14,7 +14,19 @@ from repro.experiments.e13_faults import INTENSITIES, run_e13
 def test_e13_faults(benchmark, record_table):
     config = bench_config()
     table = run_once(benchmark, run_e13, config)
-    record_table("e13", table.render(), result=table, config=config)
+    top = max(INTENSITIES)
+    record_table("e13", table.render(), result=table, config=config,
+                 metrics={
+                     "top_intensity": top,
+                     "realtime.failure_rate.top":
+                         table.row_for(top, "realtime").failure_rate,
+                     "rescue.failure_rate.top":
+                         table.row_for(top, "prefetch+rescue").failure_rate,
+                     "rescue.revenue_loss.top":
+                         table.row_for(top, "prefetch+rescue").revenue_loss,
+                     "prefetch.failure_rate.top":
+                         table.row_for(top, "prefetch").failure_rate,
+                 })
 
     for intensity in INTENSITIES:
         realtime = table.row_for(intensity, "realtime")

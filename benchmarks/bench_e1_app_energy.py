@@ -11,7 +11,14 @@ from repro.experiments.e1_app_energy import run_e1
 
 def test_e1_app_energy(benchmark, record_table):
     study = run_once(benchmark, run_e1)
-    record_table("e1", study.render(), result=study)
+    record_table("e1", study.render(), result=study,
+                 metrics={
+                     "mean_ad_share_of_communication":
+                         study.mean_ad_share_of_communication,
+                     "mean_ad_share_of_total":
+                         study.mean_ad_share_of_total,
+                     "n_apps": float(len(study.rows)),
+                 })
 
     assert len(study.rows) == 15
     # Shape: the two headline averages land near the paper's numbers.

@@ -11,7 +11,15 @@ from repro.experiments.e2_tail_energy import run_e2
 
 def test_e2_tail_energy(benchmark, record_table):
     figure = run_once(benchmark, run_e2)
-    record_table("e2", figure.render(), result=figure)
+    record_table("e2", figure.render(), result=figure,
+                 metrics={
+                     "amortization.3g": figure.amortization_ratio("3g"),
+                     "amortization.lte": figure.amortization_ratio("lte"),
+                     "amortization.wifi": figure.amortization_ratio("wifi"),
+                     "isolated_fetch_joules.3g": figure.series["3g"][0][1],
+                     "isolated_fetch_joules.wifi":
+                         figure.series["wifi"][0][1],
+                 })
 
     for radio in ("3g", "lte"):
         values = [v for _, v in figure.series[radio]]

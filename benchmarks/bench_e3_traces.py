@@ -11,9 +11,18 @@ from repro.experiments.e3_traces import run_e3
 
 def test_e3_trace_characterization(benchmark, config, record_table):
     figure = run_once(benchmark, run_e3, config)
-    record_table("e3", figure.render(), result=figure, config=config)
-
     summary = figure.summary
+    record_table("e3", figure.render(), result=figure, config=config,
+                 metrics={
+                     "slots_per_user_day_median":
+                         summary.slots_per_user_day_median,
+                     "slots_per_user_day_p90":
+                         summary.slots_per_user_day_p90,
+                     "peak_to_trough": figure.peak_to_trough,
+                     "peak_hour": float(summary.peak_hour),
+                     "day_over_day_autocorrelation":
+                         summary.day_over_day_autocorrelation,
+                 })
     assert summary.n_users == config.n_users
     # Heavy tail: p90 well above the median.
     assert summary.slots_per_user_day_p90 > 2 * summary.slots_per_user_day_median

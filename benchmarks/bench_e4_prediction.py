@@ -11,15 +11,23 @@ from repro.experiments.e4_prediction import run_e4
 
 def test_e4_prediction_accuracy(benchmark, config, record_table):
     figure = run_once(benchmark, run_e4, config)
-    record_table("e4", figure.render(), result=figure, config=config)
-
-    oracle = figure.summary_for("oracle")
-    assert oracle.mae == 0.0 and oracle.rmse == 0.0
-    # Habit-based models beat the history-blind ones on RMSE.
     tod = figure.summary_for("time_of_day")
     ewma = figure.summary_for("ewma")
     last = figure.summary_for("last_value")
     mean = figure.summary_for("global_mean")
+    record_table("e4", figure.render(), result=figure, config=config,
+                 metrics={
+                     "time_of_day.rmse": tod.rmse,
+                     "time_of_day.mae": tod.mae,
+                     "time_of_day.exact_rate": tod.exact_rate,
+                     "ewma.rmse": ewma.rmse,
+                     "last_value.rmse": last.rmse,
+                     "global_mean.mae": mean.mae,
+                 })
+
+    oracle = figure.summary_for("oracle")
+    assert oracle.mae == 0.0 and oracle.rmse == 0.0
+    # Habit-based models beat the history-blind ones on RMSE.
     assert tod.rmse < last.rmse
     assert ewma.rmse < last.rmse
     # Versus the flat mean, diurnal structure shows up as far more

@@ -12,9 +12,17 @@ from repro.experiments.e5_e6_overbooking import run_e5_e6
 
 def test_e6_revenue_vs_replication(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e5_e6, config)
-    record_table("e6", sweep.render(), result=sweep, config=config)
-
     duplicates = [p.duplicates_per_sale for p in sweep.points]
+    record_table("e6", sweep.render(), result=sweep, config=config,
+                 metrics={
+                     "duplicates_per_sale.k_min": duplicates[0],
+                     "duplicates_per_sale.k_max": duplicates[-1],
+                     "revenue_loss.k_max": sweep.points[-1].revenue_loss,
+                     "full_model.duplicates_per_sale":
+                         sweep.full_model.duplicates_per_sale,
+                     "full_model.revenue_loss":
+                         sweep.full_model.revenue_loss,
+                 })
     # Duplicates grow with fixed-k replication...
     assert duplicates[-1] > 2 * duplicates[0]
     for earlier, later in zip(duplicates, duplicates[1:]):

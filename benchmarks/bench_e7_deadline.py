@@ -12,10 +12,19 @@ from repro.experiments.e7_deadline import run_e7
 
 def test_e7_deadline_sweep(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e7, config)
-    record_table("e7", sweep.render(), result=sweep, config=config)
-
     static = sweep.series("static")
     full = sweep.series("full")
+    record_table("e7", sweep.render(), result=sweep, config=config,
+                 metrics={
+                     "static.sla_violation_rate.1h":
+                         static[0].sla_violation_rate,
+                     "static.sla_violation_rate.8h":
+                         static[-1].sla_violation_rate,
+                     "full.sla_violation_rate.worst":
+                         max(p.sla_violation_rate for p in full),
+                     "full.energy_savings.worst":
+                         min(p.energy_savings for p in full),
+                 })
     assert [p.deadline_h for p in static] == [1.0, 2.0, 4.0, 8.0]
     # Static overbooking is strongly deadline-sensitive: the 8 h point
     # cuts the 1 h point's violations by at least 2x.

@@ -12,9 +12,18 @@ from repro.experiments.e8_energy_vs_epoch import run_e8
 
 def test_e8_energy_vs_epoch(benchmark, config, record_table):
     sweep = run_once(benchmark, run_e8, config)
-    record_table("e8", sweep.render(), result=sweep, config=config)
-
     points = sweep.points
+    record_table("e8", sweep.render(), result=sweep, config=config,
+                 metrics={
+                     "energy_savings.shortest": points[0].energy_savings,
+                     "energy_savings.longest": points[-1].energy_savings,
+                     "syncs_per_user_day.shortest":
+                         points[0].syncs_per_user_day,
+                     "syncs_per_user_day.longest":
+                         points[-1].syncs_per_user_day,
+                     "sla_violation_rate.worst":
+                         max(p.sla_violation_rate for p in points),
+                 })
     assert [p.epoch_h for p in points] == [0.5, 1.0, 2.0, 3.0]
     # Syncs per user-day fall monotonically with the period.
     syncs = [p.syncs_per_user_day for p in points]

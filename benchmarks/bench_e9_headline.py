@@ -12,9 +12,18 @@ from repro.experiments.e9_headline import run_e9
 def test_e9_headline(benchmark, record_table):
     config = bench_config()
     table = run_once(benchmark, run_e9, config)
-    record_table("e9", table.render(), result=table, config=config)
-
     system = table.row_for("overbooking")
+    record_table("e9", table.render(), result=table, config=config,
+                 metrics={
+                     "energy_savings": system.energy_savings,
+                     "revenue_loss": system.revenue_loss,
+                     "sla_violation_rate": system.sla_violation_rate,
+                     "prefetch_served_rate": system.prefetch_served_rate,
+                     "naive.sla_violation_rate":
+                         table.row_for("naive-prefetch").sla_violation_rate,
+                     "oracle.energy_savings":
+                         table.row_for("oracle").energy_savings,
+                 })
     # THE claim: >50% ad-energy reduction, negligible loss & violations.
     assert system.energy_savings > 0.50
     assert system.revenue_loss < 0.03

@@ -14,11 +14,20 @@ from repro.experiments.x1_radio_mix import run_x1
 def test_x1_radio_mix(benchmark, record_table):
     config = bench_config(n_users=80)
     study = run_once(benchmark, run_x1, config)
-    record_table("x1", study.render(), result=study, config=config)
-
     g3 = study.row_for("3g")
     lte = study.row_for("lte")
     wifi = study.row_for("wifi")
+    record_table("x1", study.render(), result=study, config=config,
+                 metrics={
+                     "3g.energy_savings": g3.energy_savings,
+                     "lte.energy_savings": lte.energy_savings,
+                     "3g.realtime_ad_j_per_user_day":
+                         g3.realtime_ad_j_per_user_day,
+                     "lte.realtime_ad_j_per_user_day":
+                         lte.realtime_ad_j_per_user_day,
+                     "wifi.realtime_ad_j_per_user_day":
+                         wifi.realtime_ad_j_per_user_day,
+                 })
     # Relative savings hold on both cellular technologies.
     assert g3.energy_savings > 0.45
     assert lte.energy_savings > 0.45

@@ -13,12 +13,22 @@ from repro.experiments.x2_fast_dormancy import run_x2
 def test_x2_fast_dormancy(benchmark, record_table):
     config = bench_config(n_users=80)
     study = run_once(benchmark, run_x2, config)
-    record_table("x2", study.render(), result=study, config=config)
-
     rt_3g = study.cell("realtime", "3g")
     rt_fd = study.cell("realtime", "3g-fd")
     pf_3g = study.cell("prefetch", "3g")
     pf_fd = study.cell("prefetch", "3g-fd")
+    record_table("x2", study.render(), result=study, config=config,
+                 metrics={
+                     "realtime.3g_fd.savings":
+                         rt_fd.savings_vs_baseline,
+                     "prefetch.3g.savings": pf_3g.savings_vs_baseline,
+                     "prefetch.3g_fd.savings":
+                         pf_fd.savings_vs_baseline,
+                     "prefetch.3g_fd.ad_j_per_user_day":
+                         pf_fd.ad_j_per_user_day,
+                     "realtime.3g.ad_j_per_user_day":
+                         rt_3g.ad_j_per_user_day,
+                 })
 
     assert rt_3g.savings_vs_baseline == 0.0
     # Each fix alone recovers a large chunk.

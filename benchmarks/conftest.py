@@ -114,24 +114,40 @@ def record_table(benchmark):
 
     ``_record`` writes the rendered table as ``<id>.txt`` (and echoes it
     for ``-s`` runs) plus a machine-readable ``<id>.json`` combining the
-    result rows, the pytest-benchmark stats, and the run manifest.
+    result rows, the pytest-benchmark stats, and the run manifest — and
+    appends one deterministic record to the committed run ledger
+    (``benchmarks/ledger.jsonl``; see :mod:`_ledger`). ``metrics`` is
+    the benchmark's curated map of headline scalars, the quantities
+    ``adprefetch obs ledger regress`` guards.
     """
+    import _ledger
+
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(experiment_id: str, text: str, *, result=None,
-                config: ExperimentConfig | None = None) -> None:
+                config: ExperimentConfig | None = None,
+                metrics: dict[str, float] | None = None,
+                volatile_rows: bool = False) -> None:
         print(f"\n{text}\n")
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
         stats = _stats_of(benchmark)
+        rows = _jsonable(_rows_of(result))
         payload = {
             "experiment": experiment_id,
-            "rows": _jsonable(_rows_of(result)),
+            "rows": rows,
             "benchmark": stats,
             "manifest": _manifest_of(experiment_id, config,
                                      stats.get("total", 0.0)),
         }
         (RESULTS_DIR / f"{experiment_id}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # volatile_rows: the rows themselves carry wall-clock numbers
+        # (scaling curves), so pinning their digest would make the
+        # record nondeterministic — only the curated metrics go in.
+        _ledger.append_bench_record(experiment_id, config=config,
+                                    metrics=metrics,
+                                    rows=None if volatile_rows else rows,
+                                    stats=stats)
 
     return _record
 

@@ -13,10 +13,12 @@ Flags ambient-nondeterminism sources anywhere in the tree:
 
 Inside :mod:`repro.obs` the rule is stricter: **any** clock read —
 including the monotonic allowlist — is flagged outside
-``repro/obs/profile.py``. Observability code runs interleaved with the
-simulation, so traces and metrics must be pure functions of simulated
-time; only the profiling module measures wall-clock cost, which keeps
-the "where may real time leak in?" audit surface to one file.
+``repro/obs/profile.py`` and ``repro/obs/resources.py``. Observability
+code runs interleaved with the simulation, so traces and metrics must
+be pure functions of simulated time; only the profiling module
+(wall-clock phase timing) and the resource-telemetry module (CPU
+seconds, peak RSS) measure real time, which keeps the "where may real
+time leak in?" audit surface to those two files.
 
 Constructor-shaped RNG calls (``default_rng``, ``Generator``,
 ``random.Random``) are RPR002's jurisdiction and skipped here; numpy
@@ -53,10 +55,15 @@ class DeterminismRule(Rule):
 
     # -- ambient state calls --------------------------------------------
 
+    #: repro.obs modules allowed to read wall clocks (profile: phase
+    #: timing; resources: CPU seconds / RSS telemetry).
+    OBS_CLOCK_MODULES = (("repro", "obs", "profile"),
+                         ("repro", "obs", "resources"))
+
     def _check_calls(self, ctx: FileContext) -> Iterator[Finding]:
         obs_clock_free = (ctx.module_parts[:2] == ("repro", "obs")
-                          and ctx.module_parts[:3] != ("repro", "obs",
-                                                       "profile"))
+                          and ctx.module_parts[:3] not in
+                          self.OBS_CLOCK_MODULES)
         for node, name in iter_calls(ctx):
             if name in RNG_CONSTRUCTOR_CALLS:
                 continue
@@ -65,8 +72,9 @@ class DeterminismRule(Rule):
                     yield make_finding(
                         self.id, ctx, node,
                         f"clock read {name}() inside repro.obs; wall-clock "
-                        "measurement belongs in repro/obs/profile.py — "
-                        "traces and metrics must carry simulated time only")
+                        "measurement belongs in repro/obs/profile.py or "
+                        "repro/obs/resources.py — traces and metrics must "
+                        "carry simulated time only")
                 continue
             if name in WALL_CLOCK_CALLS:
                 yield make_finding(

@@ -43,13 +43,20 @@ def run_realtime(timelines: dict[str, ClientTimeline],
         raise ValueError("empty simulation window")
     apps = list(apps)
     obs = current_obs()
+    recorder = obs.recorder
     impressions_counter = obs.metrics.counter("realtime.impressions")
     unfilled_counter = obs.metrics.counter("realtime.unfilled_slots")
     wakeups_counter = obs.metrics.counter("realtime.radio.wakeups")
+    # Shared throughput totals (see repro.obs.resources): deterministic
+    # numerators for users/sec and events/sec, identical on the event
+    # and batched backends because this loop is the backend itself.
+    obs.metrics.counter("throughput.users_total").inc(len(timelines))
+    events_counter = obs.metrics.counter("throughput.events_total")
     impressions = 0
     unfilled = 0
     devices: list[Device] = []
-    for uid in sorted(timelines):
+    n_users = len(timelines)
+    for index, uid in enumerate(sorted(timelines)):
         timeline = timelines[uid]
         user_profile = (profile[uid] if isinstance(profile, dict)
                         else profile)
@@ -57,6 +64,15 @@ def run_realtime(timelines: dict[str, ClientTimeline],
         devices.append(device)
         faults = injector.for_user(uid) if injector is not None else None
         times, kinds, payload = timeline.window(start, end)
+        events_counter.inc(int(times.size))
+        if recorder.enabled and (index % 32 == 31 or index == n_users - 1):
+            # Per-shard progress heartbeat for the trace stream
+            # (sim-time stamped at the window end, so the trace stays
+            # deterministic at any parallelism).
+            recorder.instant(end, "shard", "heartbeat",
+                             args={"component": "realtime",
+                                   "users_done": index + 1,
+                                   "users": n_users})
         for t, kind, p in zip(times, kinds, payload):
             if faults is not None and faults.dark(float(t)):
                 break  # device churned away: no further events

@@ -10,6 +10,8 @@
     adprefetch trace out.jsonl --users 50 # dump a synthetic trace
     adprefetch obs summarize runs/        # render run artifacts
     adprefetch obs validate runs/run-000-headline/trace.jsonl
+    adprefetch obs ledger list            # the committed run ledger
+    adprefetch obs ledger regress         # CI perf/behaviour gate
 
 ``run``, ``headline``, and ``report`` accept ``--jobs N`` to execute
 user shards across N worker processes (see :class:`repro.runner.Runner`;
@@ -22,7 +24,9 @@ the observability flags: ``--metrics-out DIR`` writes one
 ``run-NNN-<system>`` artifact directory per run (manifest, merged
 metrics, wall-clock profile), and ``--trace`` additionally records the
 sim-time trace (JSONL plus a Chrome ``trace_event`` export loadable in
-Perfetto; implies ``--metrics-out`` defaulting to ``./obs-runs``).
+Perfetto; implies ``--metrics-out`` defaulting to ``./obs-runs``), and
+``--ledger PATH`` appends one deterministic
+:class:`repro.obs.ledger.RunRecord` per run to that JSONL ledger.
 ``--verbose`` turns on the shared :mod:`repro.obs.log` diagnostics.
 ``run``, ``headline``, and ``report`` also accept ``--faults plan.json``
 to inject deterministic faults (see :mod:`repro.faults`); results stay
@@ -87,7 +91,11 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "bit-identical)")
     parser.add_argument("--metrics-out", metavar="DIR", default=None,
                         help="write run artifacts (manifest, metrics, "
-                             "profile) under DIR")
+                             "profile, resources) under DIR")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="append one RunRecord per run to this JSONL "
+                             "ledger (timing telemetry goes to the "
+                             "gitignored .timings sibling)")
     parser.add_argument("--verbose", action="store_true",
                         help="enable repro.obs.log diagnostics on stderr")
 
@@ -106,11 +114,14 @@ def _install_obs_options(args: argparse.Namespace) -> None:
         log.enable(logging.DEBUG)
     trace = bool(getattr(args, "trace", False))
     metrics_out = getattr(args, "metrics_out", None)
+    ledger = getattr(args, "ledger", None)
     if metrics_out is None and trace:
         metrics_out = DEFAULT_OBS_DIR
-    if metrics_out is not None:
-        set_default_obs_options(ObsOptions(out_dir=Path(metrics_out),
-                                           trace=trace))
+    if metrics_out is not None or ledger is not None:
+        set_default_obs_options(ObsOptions(
+            out_dir=Path(metrics_out) if metrics_out is not None else None,
+            trace=trace,
+            ledger=Path(ledger) if ledger is not None else None))
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -186,10 +197,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
-    from repro.obs.summarize import summarize
+    from repro.obs.summarize import SummarizeError, summarize
 
-    print(summarize(args.dir))
+    if not Path(args.dir).exists():
+        print(f"error: {args.dir}: no such file or directory",
+              file=sys.stderr)
+        return 1
+    try:
+        print(summarize(args.dir))
+    except SummarizeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_obs_ledger(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import (DEFAULT_LEDGER_PATH, Ledger, LedgerError,
+                                  diff_records, regress, render_list,
+                                  render_record)
+
+    path = Path(args.ledger_path) if args.ledger_path else DEFAULT_LEDGER_PATH
+    ledger = Ledger(path)
+    try:
+        if args.ledger_command == "list":
+            print(render_list(ledger.records()))
+            return 0
+        if args.ledger_command == "show":
+            print(render_record(ledger.resolve(args.ref)))
+            return 0
+        if args.ledger_command == "diff":
+            baseline = ledger.resolve(args.baseline_ref)
+            candidate = ledger.resolve(args.candidate_ref)
+            problems = diff_records(baseline, candidate,
+                                    rel_tol=args.rel_tol)
+            if problems:
+                for problem in problems:
+                    print(problem)
+                return 1
+            print(f"records {baseline.record_id} and "
+                  f"{candidate.record_id} agree")
+            return 0
+        # regress
+        current = ledger.records()
+        if not current:
+            print(f"error: {path}: ledger is empty or missing",
+                  file=sys.stderr)
+            return 1
+        baseline_records = (Ledger(args.baseline).records()
+                            if args.baseline else None)
+        report = regress(current, baseline_records, rel_tol=args.rel_tol)
+        print(report.render())
+        if not report.ok:
+            return 1
+        if report.compared == 0 and not args.allow_empty:
+            print("error: no run key had a baseline to regress against "
+                  "(pass --allow-empty to tolerate)", file=sys.stderr)
+            return 1
+        return 0
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_obs_validate(args: argparse.Namespace) -> int:
@@ -268,6 +335,42 @@ def build_parser() -> argparse.ArgumentParser:
                                     "repro.obs.trace schema")
     p_val.add_argument("path")
     p_val.set_defaults(func=_cmd_obs_validate)
+
+    p_ledger = obs_sub.add_parser(
+        "ledger", help="inspect or gate the append-only run ledger")
+    p_ledger.add_argument("--ledger-path", metavar="PATH", default=None,
+                          help="ledger file (default: benchmarks/"
+                               "ledger.jsonl)")
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_command",
+                                         required=True)
+    pl_list = ledger_sub.add_parser("list", help="one line per record")
+    pl_list.set_defaults(func=_cmd_obs_ledger)
+    pl_show = ledger_sub.add_parser("show", help="render one record")
+    pl_show.add_argument("ref", nargs="?", default="latest",
+                         help="seq number (negative counts from the "
+                              "end), id prefix, or 'latest'")
+    pl_show.set_defaults(func=_cmd_obs_ledger)
+    pl_diff = ledger_sub.add_parser(
+        "diff", help="compare two records under the tolerance contract")
+    pl_diff.add_argument("baseline_ref")
+    pl_diff.add_argument("candidate_ref")
+    pl_diff.add_argument("--rel-tol", type=float, default=0.0,
+                         help="extra relative tolerance for metrics not "
+                              "covered by the contract")
+    pl_diff.set_defaults(func=_cmd_obs_ledger)
+    pl_reg = ledger_sub.add_parser(
+        "regress", help="gate the latest record of every run key "
+                        "against its baseline (CI)")
+    pl_reg.add_argument("--baseline", metavar="LEDGER", default=None,
+                        help="explicit baseline ledger (default: the "
+                             "ledger is its own history)")
+    pl_reg.add_argument("--rel-tol", type=float, default=0.0,
+                        help="extra relative tolerance for uncovered "
+                             "metrics")
+    pl_reg.add_argument("--allow-empty", action="store_true",
+                        help="exit 0 even when no run key had a "
+                             "baseline to compare against")
+    pl_reg.set_defaults(func=_cmd_obs_ledger)
 
     return parser
 

@@ -308,6 +308,14 @@ def _execute_prefetch(job: ShardJob) -> PrefetchArtifacts:
 
     obs = current_obs()
     obs_recorder = obs.recorder
+    # Deterministic throughput totals, shared with the realtime engine
+    # and identical on both backends (the epoch loop below is the
+    # backend-independent part): users simulated and timeline events
+    # replayed. repro.obs.resources divides them by wall clock for
+    # users/sec / events/sec telemetry.
+    obs.metrics.counter("throughput.users_total").inc(len(timelines))
+    events_counter = obs.metrics.counter("throughput.events_total")
+    events_done = 0
     for epoch in range(first_test, n_epochs):
         now = epoch * config.epoch_s
         window_end = min(now + config.epoch_s, job.horizon)
@@ -325,10 +333,12 @@ def _execute_prefetch(job: ShardJob) -> PrefetchArtifacts:
         # Clients sync at their first slot; process in sync-time order so
         # cross-client report visibility is chronological.
         schedule: list[tuple[float, str]] = []
+        epoch_events = 0
         for uid, timeline in timelines.items():
             times, _, _ = timeline.window(now, window_end)
             if times.size == 0:
                 continue
+            epoch_events += int(times.size)
             first_slot = timeline.first_slot_in(now, window_end)
             schedule.append((first_slot if first_slot is not None
                              else float("inf"), uid))
@@ -347,6 +357,19 @@ def _execute_prefetch(job: ShardJob) -> PrefetchArtifacts:
             # server learns nothing about the finished epoch.
             server.observe_epoch(epoch, {uid: int(counts[uid][epoch])
                                          for uid in counts})
+        events_counter.inc(epoch_events)
+        events_done += epoch_events
+        if obs_recorder.enabled:
+            # Per-shard heartbeat: the liveness/progress signal a
+            # coordinator/worker runner can consume from the trace
+            # stream (sim-time stamped, so the trace stays
+            # deterministic).
+            obs_recorder.instant(
+                window_end, "shard", "heartbeat",
+                args={"epoch": epoch, "users": len(timelines),
+                      "events_done": events_done,
+                      "epochs_done": epoch - first_test + 1,
+                      "epochs": n_epochs - first_test})
 
     wakeups_counter = obs.metrics.counter("radio.wakeups")
     for device in devices.values():

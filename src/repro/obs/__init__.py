@@ -15,12 +15,30 @@ Three pillars, all designed around the determinism contract:
   real time goes (world build, shard execute, merge) without touching
   simulated quantities.
 
-:mod:`repro.obs.manifest` records run provenance, and
-:mod:`repro.obs.log` replaces ad-hoc prints with a silenceable shared
-logger. See DESIGN.md §8 for the naming scheme and merge contract.
+:mod:`repro.obs.manifest` records run provenance;
+:mod:`repro.obs.ledger` accumulates it — an append-only, schema-
+versioned run ledger with tolerance-aware ``diff`` and a ``regress``
+CI gate (DESIGN.md §11); :mod:`repro.obs.resources` samples the
+timing-bearing resource telemetry (peak RSS, CPU seconds, users/sec)
+that rides beside it; and :mod:`repro.obs.log` replaces ad-hoc prints
+with a silenceable shared logger. See DESIGN.md §8 for the naming
+scheme and merge contract.
 """
 
 from . import log
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    RegressReport,
+    RunRecord,
+    diff_records,
+    merge_records,
+    regress,
+    snapshot_digest,
+    timings_path_for,
+)
 from .manifest import (
     MANIFEST_FILENAME,
     RunManifest,
@@ -38,6 +56,7 @@ from .metrics import (
     validate_instrument_name,
 )
 from .profile import PhaseProfiler, PhaseStats, RunProfile
+from .resources import ResourceTelemetry, collect_telemetry, peak_rss_bytes
 from .runtime import (
     Obs,
     ObsOptions,
@@ -51,7 +70,7 @@ from .runtime import (
     recorder,
     set_default_obs_options,
 )
-from .summarize import find_run_dirs, load_run, summarize
+from .summarize import SummarizeError, find_run_dirs, load_run, summarize
 from .trace import (
     NULL_RECORDER,
     MemoryRecorder,
@@ -66,12 +85,16 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_SCHEMA_VERSION",
     "MANIFEST_FILENAME",
     "NULL_RECORDER",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "Ledger",
+    "LedgerError",
     "MemoryRecorder",
     "MetricsRegistry",
     "MetricsSnapshot",
@@ -80,27 +103,38 @@ __all__ = [
     "ObsOptions",
     "PhaseProfiler",
     "PhaseStats",
+    "RegressReport",
+    "ResourceTelemetry",
     "RunManifest",
     "RunProfile",
+    "RunRecord",
+    "SummarizeError",
     "TraceEvent",
     "TraceRecorder",
     "activate",
     "build_manifest",
+    "collect_telemetry",
     "config_digest",
     "counter",
     "current_obs",
     "default_obs_options",
+    "diff_records",
     "find_run_dirs",
     "gauge",
     "histogram",
     "load_run",
     "log",
+    "merge_records",
     "next_run_dir",
+    "peak_rss_bytes",
     "read_jsonl",
     "recorder",
+    "regress",
     "set_default_obs_options",
+    "snapshot_digest",
     "streams_manifest_hash",
     "summarize",
+    "timings_path_for",
     "to_chrome",
     "validate_instrument_name",
     "validate_jsonl",

@@ -101,13 +101,18 @@ class ObsOptions:
 
     ``out_dir`` is the parent directory; every traced ``Runner.run``
     writes one ``run-NNN-<label>`` subdirectory under it containing
-    ``manifest.json``, ``metrics.json``, ``profile.json`` and — when
-    ``trace`` is set — ``trace.jsonl`` plus ``trace.chrome.json``.
+    ``manifest.json``, ``metrics.json``, ``profile.json``,
+    ``resources.json`` and — when ``trace`` is set — ``trace.jsonl``
+    plus ``trace.chrome.json``. ``ledger`` (CLI ``--ledger PATH``)
+    additionally appends one :class:`repro.obs.ledger.RunRecord` per
+    run to that JSONL ledger, with the timing-bearing telemetry going
+    to the gitignored timings sibling.
     """
 
     out_dir: Path | None = None
     trace: bool = False
     label: str = ""
+    ledger: Path | None = None
 
 
 _DEFAULT_OPTIONS: ObsOptions | None = None

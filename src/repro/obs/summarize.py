@@ -10,12 +10,22 @@ profile including each shard's execution time.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
 from .manifest import MANIFEST_FILENAME, RunManifest
 from .metrics import MetricsSnapshot
 from .profile import RunProfile
+
+
+class SummarizeError(ValueError):
+    """A run artifact is missing, empty, or fails the expected schema.
+
+    The CLI turns this into a one-line stderr message (no traceback):
+    artifact directories are user-supplied paths, and a corrupt
+    ``metrics.json`` should read as a diagnosis, not a crash.
+    """
 
 #: File names inside one run directory.
 METRICS_FILENAME = "metrics.json"
@@ -54,24 +64,52 @@ def find_run_dirs(root: str | Path) -> list[Path]:
                   if child.is_dir() and (child / MANIFEST_FILENAME).exists())
 
 
-def load_run(path: str | Path) -> RunRecord:
-    """Load one run directory's artifacts."""
-    import json
+def _load_json_object(path: Path, what: str) -> dict[str, object]:
+    """Read ``path`` as a JSON object, or raise :class:`SummarizeError`."""
+    if not path.exists():
+        raise SummarizeError(f"{path}: missing {what} file")
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        raise SummarizeError(f"{path}: empty {what} file")
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SummarizeError(
+            f"{path}: {what} file is not valid JSON ({exc})") from exc
+    if not isinstance(loaded, dict):
+        raise SummarizeError(
+            f"{path}: {what} file is not a JSON object "
+            f"(got {type(loaded).__name__}) — schema mismatch")
+    return loaded
 
+
+def load_run(path: str | Path) -> RunRecord:
+    """Load one run directory's artifacts.
+
+    Raises :class:`SummarizeError` (a ``ValueError``) with a one-line
+    diagnosis when the manifest is unreadable or a present
+    ``metrics.json``/``profile.json`` is empty, malformed, or not the
+    expected schema. Absent optional artifacts simply load as ``None``.
+    """
     base = Path(path)
-    manifest = RunManifest.read(base / MANIFEST_FILENAME)
+    manifest_payload = _load_json_object(base / MANIFEST_FILENAME,
+                                         "manifest")
+    manifest = RunManifest.from_jsonable(manifest_payload)
     metrics: MetricsSnapshot | None = None
     metrics_path = base / METRICS_FILENAME
     if metrics_path.exists():
-        loaded = json.loads(metrics_path.read_text(encoding="utf-8"))
-        if isinstance(loaded, dict):
-            metrics = MetricsSnapshot.from_jsonable(loaded)
+        loaded = _load_json_object(metrics_path, "metrics")
+        if not ({"counters", "gauges", "histograms"} & set(loaded)):
+            raise SummarizeError(
+                f"{metrics_path}: metrics file lacks the "
+                "counters/gauges/histograms sections — schema mismatch "
+                "(was this written by repro.obs?)")
+        metrics = MetricsSnapshot.from_jsonable(loaded)
     profile: RunProfile | None = None
     profile_path = base / PROFILE_FILENAME
     if profile_path.exists():
-        loaded = json.loads(profile_path.read_text(encoding="utf-8"))
-        if isinstance(loaded, dict):
-            profile = RunProfile.from_jsonable(loaded)
+        loaded = _load_json_object(profile_path, "profile")
+        profile = RunProfile.from_jsonable(loaded)
     return RunRecord(path=base, manifest=manifest, metrics=metrics,
                      profile=profile)
 

@@ -73,9 +73,12 @@ from repro.metrics.outcomes import (
     RealtimeOutcome,
     compare,
 )
+from repro.obs.ledger import Ledger, snapshot_digest
+from repro.obs.ledger import RunRecord as LedgerRecord
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.profile import PhaseProfiler, RunProfile
+from repro.obs.resources import ResourceTelemetry, collect_telemetry
 from repro.obs.runtime import (
     Obs,
     ObsOptions,
@@ -85,7 +88,11 @@ from repro.obs.runtime import (
 )
 from repro.obs.trace import MemoryRecorder, TraceEvent, write_chrome, write_jsonl
 from repro.radio.profiles import RadioProfile
-from repro.sim.batched import DEFAULT_CONTRACT
+from repro.sim.batched import (
+    DEFAULT_CONTRACT,
+    prefetch_metrics,
+    realtime_metrics,
+)
 from repro.traces.stats import epoch_slot_counts
 from repro.workloads.appstore import TOP15, AppProfile
 
@@ -436,6 +443,32 @@ class RunResult:
     manifest: RunManifest | None = None
     trace_events: tuple[TraceEvent, ...] = ()
     artifacts_dir: Path | None = None
+    resources: ResourceTelemetry = field(default_factory=ResourceTelemetry)
+
+    def result_metrics(self) -> dict[str, float]:
+        """The run's flat, contract-addressable result metrics.
+
+        The same flattening the batched-backend equivalence check uses
+        (:func:`repro.sim.batched.prefetch_metrics` /
+        :func:`~repro.sim.batched.realtime_metrics`), plus the headline
+        comparison ratios — this is what lands in a ledger record's
+        ``metrics`` map.
+        """
+        flat: dict[str, float] = {}
+        if self.prefetch is not None:
+            flat.update(prefetch_metrics(self.prefetch))
+        if self.realtime is not None:
+            flat.update(realtime_metrics(self.realtime))
+        if self.comparison is not None:
+            flat.update({
+                "headline.energy_savings": self.comparison.energy_savings,
+                "headline.revenue_loss": self.comparison.revenue_loss,
+                "headline.sla_violation_rate":
+                    self.comparison.sla_violation_rate,
+                "headline.wakeup_reduction":
+                    self.comparison.wakeup_reduction,
+            })
+        return flat
 
     @property
     def value(self) -> Comparison | PrefetchOutcome | RealtimeOutcome | None:
@@ -601,10 +634,15 @@ class Runner:
                                        if self.backend == "batched"
                                        else None))
         profile = profiler.snapshot()
+        resources = collect_telemetry(
+            elapsed_s=elapsed_s,
+            users_total=metrics.counters.get("throughput.users_total", 0.0),
+            events_total=metrics.counters.get("throughput.events_total", 0.0))
         artifacts_dir = self._write_artifacts(
             options, result_system=system, manifest=manifest,
-            metrics=metrics, profile=profile, events=events, trace=trace)
-        return RunResult(
+            metrics=metrics, profile=profile, events=events, trace=trace,
+            resources=resources)
+        result = RunResult(
             system=system,
             n_shards=len(tasks),
             parallelism=self.parallelism,
@@ -617,13 +655,33 @@ class Runner:
             manifest=manifest,
             trace_events=tuple(events),
             artifacts_dir=artifacts_dir,
+            resources=resources,
         )
+        if options is not None and options.ledger is not None:
+            self._append_ledger(options.ledger, result, metrics)
+        return result
+
+    def _append_ledger(self, ledger_path: Path, result: RunResult,
+                       metrics: MetricsSnapshot) -> None:
+        """Append this run to the ledger at ``ledger_path``.
+
+        The committed record carries only deterministic fields (identity
+        + counter totals + result metrics + snapshot digest); the
+        resource telemetry rides in the gitignored timings sibling.
+        """
+        assert result.manifest is not None
+        record = LedgerRecord.from_manifest(
+            result.manifest,
+            metrics=result.result_metrics(),
+            metrics_digest=snapshot_digest(metrics))
+        Ledger(ledger_path).append(record, telemetry=result.resources)
 
     def _write_artifacts(self, options: ObsOptions | None, *,
                          result_system: str, manifest: RunManifest,
                          metrics: MetricsSnapshot, profile: RunProfile,
                          events: Sequence[TraceEvent],
-                         trace: bool) -> Path | None:
+                         trace: bool,
+                         resources: ResourceTelemetry) -> Path | None:
         """Write one ``run-NNN-<label>`` artifact directory, if requested."""
         if options is None or options.out_dir is None:
             return None
@@ -637,6 +695,9 @@ class Runner:
             + "\n", encoding="utf-8")
         (run_dir / "profile.json").write_text(
             json.dumps(profile.to_jsonable(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        (run_dir / "resources.json").write_text(
+            json.dumps(resources.to_jsonable(), indent=2, sort_keys=True)
             + "\n", encoding="utf-8")
         if trace:
             write_jsonl(events, run_dir / "trace.jsonl")

@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.showcurve import MAX_DEPTH, DispatchCurve
 from repro.exchange.campaign import ANY, Campaign
 from repro.exchange.marketplace import Exchange, Sale
+from repro.obs.runtime import current_obs
 from repro.radio.profiles import RadioProfile
 from repro.server.adserver import AdServer, SyncResponse
 
@@ -134,6 +135,7 @@ class LogDevice:
             return
         self._finalized = True
         n = len(self._req)
+        current_obs().metrics.counter("batched.transfers.settled").inc(n)
         if n == 0:
             return
         profile = self.profile

@@ -234,6 +234,12 @@ def test_backends_agree_on_random_worlds(params, faults):
          **realtime_metrics(event.realtime)},
         {**prefetch_metrics(batched.prefetch),
          **realtime_metrics(batched.realtime)})
+    # Backend parity of the throughput counters: both backends drive
+    # the same orchestration loops, so the totals agree exactly.
+    for name in ("throughput.users_total", "throughput.events_total"):
+        assert event.metrics.counters[name] > 0
+        assert (batched.metrics.counters[name]
+                == event.metrics.counters[name])
 
 
 def test_backends_agree_under_sharded_parallel_runs(tiny_config, tiny_world):
@@ -253,6 +259,10 @@ def test_backends_agree_under_sharded_parallel_runs(tiny_config, tiny_world):
     assert not contract_violations(
         prefetch_metrics(results["event"].prefetch),
         prefetch_metrics(results["batched"].prefetch))
+    for name in ("throughput.users_total", "throughput.events_total"):
+        assert results["event"].metrics.counters[name] > 0
+        assert (results["batched"].metrics.counters[name]
+                == results["event"].metrics.counters[name])
 
 
 def test_contract_digest_is_pinned_in_batched_manifests(tiny_config,

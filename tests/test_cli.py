@@ -122,3 +122,159 @@ def test_faults_flag_rejects_bad_plan(tmp_path):
     with pytest.raises(ValueError):
         main(["headline", "--users", "12", "--days", "6",
               "--train-days", "3", "--faults", str(plan)])
+
+
+# ---------------------------------------------------------------------
+# obs summarize error handling
+# ---------------------------------------------------------------------
+
+
+def test_summarize_missing_path_is_one_line_error(tmp_path, capsys):
+    code = main(["obs", "summarize", str(tmp_path / "nowhere")])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "no such file" in err
+
+
+def test_summarize_empty_metrics_file_is_one_line_error(tmp_path, capsys):
+    run_dir = tmp_path / "run-000-headline"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{}")
+    (run_dir / "metrics.json").write_text("")
+    code = main(["obs", "summarize", str(run_dir)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "empty metrics file" in err
+
+
+def test_summarize_schema_mismatch_is_one_line_error(tmp_path, capsys):
+    run_dir = tmp_path / "run-000-headline"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{}")
+    (run_dir / "metrics.json").write_text('{"unexpected": 1}')
+    code = main(["obs", "summarize", str(run_dir)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "schema mismatch" in err
+
+
+def test_summarize_invalid_manifest_json_is_one_line_error(tmp_path,
+                                                           capsys):
+    run_dir = tmp_path / "run-000-headline"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{broken")
+    code = main(["obs", "summarize", str(run_dir)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "not valid JSON" in err
+
+
+# ---------------------------------------------------------------------
+# obs ledger
+# ---------------------------------------------------------------------
+
+
+def _run_with_ledger(path, seed="15"):
+    from repro.obs.runtime import set_default_obs_options
+
+    try:
+        return main(["headline", "--users", "12", "--days", "6",
+                     "--train-days", "3", "--seed", seed,
+                     "--ledger", str(path)])
+    finally:
+        set_default_obs_options(None)
+
+
+def test_ledger_cli_list_show_regress_round_trip(tmp_path, capsys):
+    ledger_path = tmp_path / "ledger.jsonl"
+    assert _run_with_ledger(ledger_path) == 0
+    assert _run_with_ledger(ledger_path) == 0
+    capsys.readouterr()
+
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "list"]) == 0
+    out = capsys.readouterr().out
+    assert "headline" in out and out.strip().count("\n") == 1
+
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "show", "latest"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput.users_total" in out
+    assert "metrics digest" in out
+
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "diff", "1", "2"]) == 0
+    assert "agree" in capsys.readouterr().out
+
+    # A clean re-run regresses clean.
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "regress"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_ledger_cli_regress_fails_on_injected_counter_regression(
+        tmp_path, capsys):
+    import json
+
+    ledger_path = tmp_path / "ledger.jsonl"
+    assert _run_with_ledger(ledger_path) == 0
+    capsys.readouterr()
+
+    # Forge a "regressed build": same identity, one counter drifted.
+    from repro.obs.ledger import Ledger
+    ledger = Ledger(ledger_path)
+    baseline = ledger.resolve("latest")
+    payload = baseline.to_jsonable()
+    payload["counter_totals"]["server.rescues"] = (
+        payload["counter_totals"].get("server.rescues", 0.0) + 1.0)
+    payload["seq"] = baseline.seq + 1
+    with ledger_path.open("a") as fh:
+        fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    code = main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "regress"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "server.rescues" in out
+
+
+def test_ledger_cli_regress_empty_and_no_baseline(tmp_path, capsys):
+    ledger_path = tmp_path / "ledger.jsonl"
+    # Missing ledger: hard error.
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "regress"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+    # One record: nothing to compare — fails unless --allow-empty.
+    assert _run_with_ledger(ledger_path) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "regress"]) == 1
+    assert "no run key had a baseline" in capsys.readouterr().err
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "regress", "--allow-empty"]) == 0
+
+
+def test_ledger_cli_regress_against_explicit_baseline(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.jsonl"
+    current_path = tmp_path / "current.jsonl"
+    assert _run_with_ledger(baseline_path) == 0
+    assert _run_with_ledger(current_path) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "--ledger-path", str(current_path),
+                 "regress", "--baseline", str(baseline_path)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_ledger_cli_show_bad_ref_is_one_line_error(tmp_path, capsys):
+    ledger_path = tmp_path / "ledger.jsonl"
+    assert _run_with_ledger(ledger_path) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "--ledger-path", str(ledger_path),
+                 "show", "zzzz"]) == 1
+    assert capsys.readouterr().err.startswith("error:")

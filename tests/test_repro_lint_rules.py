@@ -103,6 +103,28 @@ class TestDeterminism:
                 return time.perf_counter() - started
             """, path="src/repro/obs/profile.py") == []
 
+    def test_process_time_allowed_in_obs_resources(self):
+        # Resource telemetry (CPU seconds, peak RSS) is the second and
+        # last repro.obs module allowed to read a clock.
+        assert lint("""
+            import time
+
+            def cpu_time_s() -> float:
+                return time.process_time()
+            """, path="src/repro/obs/resources.py") == []
+
+    def test_clock_still_flagged_in_obs_ledger(self):
+        # The allowlist names profile.py and resources.py exactly; any
+        # other repro.obs module reading a clock fails lint.
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.perf_counter()
+            """, path="src/repro/obs/ledger.py")
+        assert rules_of(findings) == {"RPR001"}
+        assert "repro/obs/resources.py" in findings[0].message
+
     def test_threaded_generator_draw_allowed(self):
         assert lint("""
             import numpy as np
