@@ -1,0 +1,196 @@
+"""Conservative call graph rooted at the shard entry points.
+
+The shard-purity rule (RPR006) asks: *which code can run inside
+:func:`repro.experiments.harness.execute_shard`?* This module answers
+it over the :class:`~repro.analysis.modgraph.ModuleGraph` with a
+deliberately over-approximating call graph:
+
+* direct calls resolved through imports are precise edges;
+* ``self.meth()`` / ``cls.meth()`` resolve against the enclosing class
+  (walking analyzed bases);
+* constructor calls edge into ``__init__`` / ``__post_init__`` of the
+  resolved class;
+* attribute calls on runtime objects (``server.plan_epoch()``) fall
+  back to class-hierarchy analysis by *method name*: every analyzed
+  class method with that name is assumed callable.
+
+Over-approximation is the right failure mode for a purity gate — a
+function wrongly considered reachable produces at worst a reviewable
+finding; one wrongly considered unreachable hides a real shared-state
+bug behind the coordinator/worker split the ROADMAP is building toward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .modgraph import CallSite, FunctionInfo, ModuleGraph, ModuleSummary
+
+#: Where shard execution enters: the dispatch function, the job payload
+#: class, and the vectorized backend module (its classes are constructed
+#: inside shard workers).
+SHARD_ENTRY_POINTS = (
+    "repro.experiments.harness.execute_shard",
+    "repro.experiments.harness.ShardJob",
+    "repro.sim.batched",
+)
+
+
+def resolve_call(graph: ModuleGraph, summary: ModuleSummary,
+                 caller: FunctionInfo, site: CallSite) -> list[str]:
+    """Candidate fully-qualified callees for one call site.
+
+    Returns an empty list for calls that leave the analyzed project
+    (stdlib, numpy). A single-element list is a *precise* edge; multiple
+    elements mean name-based class-hierarchy fallback.
+    """
+    callee = site.callee
+    parts = callee.split(".")
+
+    # self.meth() / cls.meth(): precise resolution on the own class.
+    if parts[0] in ("self", "cls") and len(parts) == 2 and caller.is_method:
+        class_qual = caller.qualname.rsplit(".", 1)[0]
+        resolved = graph.resolve_method(
+            f"{summary.module}.{class_qual}", parts[1])
+        return [resolved] if resolved else []
+
+    # Locally-defined or imported symbol (module function, class, or a
+    # fully-dotted path like repro.sim.rng.RngRegistry).
+    for candidate in (f"{summary.module}.{callee}", callee):
+        resolved = graph.resolve(candidate)
+        if resolved is None:
+            continue
+        if resolved in graph.functions:
+            return [resolved]
+        if resolved in graph.classes:
+            # Constructor: run __init__ and (dataclasses) __post_init__.
+            edges = [fq for method in ("__init__", "__post_init__")
+                     if (fq := graph.resolve_method(resolved, method))]
+            return edges or [resolved + ".__init__"]
+        if resolved in graph.modules:
+            return []
+
+    # Attribute call on a runtime object: conservative CHA by name.
+    if len(parts) >= 2:
+        method = parts[-1]
+        return [fq for fq in graph.name_index.get(method, ())
+                if graph.functions[fq][1].is_method]
+    return []
+
+
+@dataclass(slots=True)
+class CallGraphNode:
+    """Adjacency row: outgoing edges of one function."""
+
+    fq: str
+    edges: list[str] = field(default_factory=list)
+
+
+class CallGraph:
+    """Function-level adjacency + reachability over a module graph."""
+
+    def __init__(self, graph: ModuleGraph) -> None:
+        self.graph = graph
+        self.edges: dict[str, list[str]] = {}
+        for fq in sorted(graph.functions):
+            summary, info = graph.functions[fq]
+            out: list[str] = []
+            seen: set[str] = set()
+            for site in info.calls:
+                for target in resolve_call(graph, summary, info, site):
+                    if target in graph.functions and target not in seen:
+                        seen.add(target)
+                        out.append(target)
+            self.edges[fq] = out
+
+    def roots_for(self, entry_points: Iterable[str]) -> list[str]:
+        """Expand entry-point specs into fully-qualified function roots.
+
+        A spec may name a function, a class (all methods), or a module
+        (all functions and methods). Unknown specs are skipped — a
+        subset run simply has a smaller reachable surface.
+        """
+        roots: list[str] = []
+        for spec in entry_points:
+            resolved = self.graph.resolve(spec)
+            if resolved is None:
+                continue
+            if resolved in self.graph.functions:
+                roots.append(resolved)
+            elif resolved in self.graph.classes:
+                summary, cls = self.graph.classes[resolved]
+                roots.extend(f"{resolved}.{method}"
+                             for method in cls.methods
+                             if f"{resolved}.{method}" in self.graph.functions)
+            elif resolved in self.graph.modules:
+                prefix = resolved + "."
+                roots.extend(fq for fq in sorted(self.graph.functions)
+                             if fq.startswith(prefix))
+        return roots
+
+    def reachable(self, entry_points: Iterable[str]
+                  ) -> tuple[set[str], dict[str, str]]:
+        """BFS closure from ``entry_points``.
+
+        Returns ``(reachable fq names, parent map)``; the parent map
+        lets findings render a *why-reachable* chain.
+        """
+        roots = self.roots_for(entry_points)
+        parents: dict[str, str] = {}
+        seen: set[str] = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop(0)
+            for target in self.edges.get(current, ()):
+                if target not in seen:
+                    seen.add(target)
+                    parents[target] = current
+                    frontier.append(target)
+        return seen, parents
+
+    def chain(self, fq: str, parents: dict[str, str],
+              limit: int = 4) -> str:
+        """Short ``a <- b <- c`` provenance string for a finding."""
+        hops = [self._short(fq)]
+        current = fq
+        while current in parents and len(hops) < limit:
+            current = parents[current]
+            hops.append(self._short(current))
+        return " <- ".join(hops)
+
+    def _short(self, fq: str) -> str:
+        """Render ``repro.pkg.mod.Cls.meth`` as ``mod.Cls.meth``."""
+        entry = self.graph.functions.get(fq)
+        if entry is None:
+            return fq
+        summary, info = entry
+        module_tail = summary.module.rsplit(".", 1)[-1]
+        return f"{module_tail}.{info.qualname}"
+
+
+@dataclass(slots=True)
+class ProjectContext:
+    """Everything a project-level rule sees: graph + shard reachability."""
+
+    graph: ModuleGraph
+    callgraph: CallGraph
+    reachable: set[str]
+    parents: dict[str, str]
+
+    @classmethod
+    def build(cls, graph: ModuleGraph,
+              entry_points: Iterable[str] = SHARD_ENTRY_POINTS
+              ) -> "ProjectContext":
+        """Construct the call graph and shard-reachable closure."""
+        callgraph = CallGraph(graph)
+        reachable, parents = callgraph.reachable(entry_points)
+        return cls(graph=graph, callgraph=callgraph,
+                   reachable=reachable, parents=parents)
+
+    def iter_reachable(self) -> Iterator[tuple[ModuleSummary, FunctionInfo]]:
+        """Shard-reachable functions in deterministic order (tests skipped)."""
+        for fq in sorted(self.reachable):
+            summary, info = self.graph.functions[fq]
+            if not summary.is_test:
+                yield summary, info

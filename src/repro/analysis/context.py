@@ -130,8 +130,9 @@ class FileContext:
     # -- suppression comments -------------------------------------------
 
     @cached_property
-    def _suppressions(self) -> tuple[dict[int, frozenset[str]],
-                                     frozenset[str]]:
+    def suppressions(self) -> tuple[dict[int, frozenset[str]],
+                                    frozenset[str]]:
+        """``(per-line rules, file-wide rules)`` suppression tables."""
         per_line: dict[int, frozenset[str]] = {}
         file_wide: set[str] = set()
         for lineno, text in enumerate(self.lines, start=1):
@@ -145,13 +146,59 @@ class FileContext:
                 per_line[lineno] = per_line.get(lineno, frozenset()) | rules
         return per_line, frozenset(file_wide)
 
+    @cached_property
+    def stmt_spans(self) -> list[tuple[int, int]]:
+        """Line spans over which a suppression comment extends.
+
+        A ``# repro-lint: disable=...`` anywhere on a multi-line
+        statement must suppress findings attributed to any line of that
+        statement — a call argument on line N+3 of a wrapped call, or a
+        decorated ``def`` whose finding points at the ``def`` line while
+        the comment sits on the closing-paren line. Simple statements
+        span ``lineno..end_lineno``; compound statements (defs, classes,
+        ``if``/``for``/``with``/``try``) contribute their *header* only
+        (decorators through the line before the first body statement) so
+        a waiver inside a function body never blankets the whole body.
+        """
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(
+                    body[0], ast.stmt):
+                start = node.lineno
+                decorators = getattr(node, "decorator_list", [])
+                if decorators:
+                    start = min(start, decorators[0].lineno)
+                end = max(start, body[0].lineno - 1)
+            else:
+                start = node.lineno
+                end = node.end_lineno or node.lineno
+            if end > start:
+                spans.append((start, end))
+        return spans
+
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """True when ``rule`` is waived on ``line`` (or file-wide)."""
-        per_line, file_wide = self._suppressions
+        """True when ``rule`` is waived on ``line`` (or file-wide).
+
+        A waiver counts when it sits on ``line`` itself, anywhere on a
+        multi-line statement containing ``line`` (see
+        :attr:`stmt_spans`), or file-wide.
+        """
+        per_line, file_wide = self.suppressions
         if "all" in file_wide or rule in file_wide:
             return True
-        here = per_line.get(line, frozenset())
-        return "all" in here or rule in here
+
+        def _on(lineno: int) -> bool:
+            here = per_line.get(lineno, frozenset())
+            return "all" in here or rule in here
+
+        if _on(line):
+            return True
+        return any(_on(covered)
+                   for start, end in self.stmt_spans if start <= line <= end
+                   for covered in range(start, end + 1))
 
     # -- enclosing scopes -----------------------------------------------
 

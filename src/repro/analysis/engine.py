@@ -1,12 +1,16 @@
-"""Analysis engine: file discovery, rule execution, suppression.
+"""Analysis engine: file discovery, session orchestration, suppression.
 
 The engine is deliberately import-light (stdlib only) so ``repro-lint``
 can run in environments where the simulator's dependencies are absent —
-e.g. a pre-commit hook or a minimal CI container.
+e.g. a pre-commit hook or a minimal CI container. Heavy lifting lives
+in :mod:`repro.analysis.session` (cached parallel per-file stage plus
+the interprocedural project stage); this module owns file discovery and
+the :class:`AnalysisReport` surface the CLI and tests consume.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -15,14 +19,76 @@ from typing import Iterable, Iterator, Sequence
 from .context import FileContext
 from .findings import Finding
 from .rules import Rule, get_rules
-from .rules.rng_streams import iter_stream_calls
+from .session import AnalysisSession
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv",
                         "node_modules", "build", "dist"})
 
 
-def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
-    """Yield ``.py`` files under ``paths`` in deterministic sorted order."""
+class GitIgnore:
+    """Best-effort ``.gitignore`` matcher for the file walker.
+
+    Supports the pattern shapes this repository actually uses: bare
+    names (``*.pyc``), directory patterns (``obs-runs/``), and anchored
+    path globs (``benchmarks/results/*.json``). Negations and nested
+    ignore files are out of scope — the walker only needs to keep
+    scratch output out of the lint run, not re-implement git.
+    """
+
+    def __init__(self, patterns: Iterable[str]) -> None:
+        self.dir_patterns: list[str] = []
+        self.name_patterns: list[str] = []
+        self.path_patterns: list[str] = []
+        for raw in patterns:
+            pattern = raw.strip()
+            if not pattern or pattern.startswith("#") or pattern.startswith("!"):
+                continue
+            if pattern.endswith("/"):
+                pattern = pattern.rstrip("/")
+                if "/" in pattern:
+                    self.path_patterns.append(pattern)
+                else:
+                    self.dir_patterns.append(pattern)
+            elif "/" in pattern:
+                self.path_patterns.append(pattern.lstrip("/"))
+            else:
+                self.name_patterns.append(pattern)
+
+    @classmethod
+    def load(cls, root: str | Path = ".") -> "GitIgnore":
+        """Read ``<root>/.gitignore`` (missing file → empty matcher)."""
+        path = Path(root) / ".gitignore"
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        return cls(lines)
+
+    def ignores_dir(self, name: str, rel: str) -> bool:
+        """True when a directory (basename + posix relpath) is ignored."""
+        return (any(fnmatch.fnmatch(name, p) for p in self.dir_patterns)
+                or self._path_match(rel))
+
+    def ignores_file(self, name: str, rel: str) -> bool:
+        """True when a file (basename + posix relpath) is ignored."""
+        return (any(fnmatch.fnmatch(name, p) for p in self.name_patterns)
+                or self._path_match(rel))
+
+    def _path_match(self, rel: str) -> bool:
+        return any(fnmatch.fnmatch(rel, p) for p in self.path_patterns)
+
+
+def iter_python_files(paths: Sequence[str | Path],
+                      gitignore: GitIgnore | None = None) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic sorted order.
+
+    ``__pycache__``, virtualenvs, and (when ``gitignore`` is given or a
+    ``.gitignore`` exists in the working directory) gitignored paths are
+    skipped. Explicit file arguments always win — naming a file lints
+    it even if a pattern would ignore it.
+    """
+    if gitignore is None:
+        gitignore = GitIgnore.load(".")
     for raw in paths:
         path = Path(raw)
         if path.is_file():
@@ -30,12 +96,18 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
                 yield path
             continue
         for dirpath, dirnames, filenames in os.walk(path):
+            base = Path(dirpath)
             dirnames[:] = sorted(
                 d for d in dirnames
-                if d not in _SKIP_DIRS and not d.endswith(".egg-info"))
+                if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                and not gitignore.ignores_dir(d, (base / d).as_posix()))
             for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    yield Path(dirpath) / filename
+                if not filename.endswith(".py"):
+                    continue
+                file_path = base / filename
+                if gitignore.ignores_file(filename, file_path.as_posix()):
+                    continue
+                yield file_path
 
 
 @dataclass(slots=True)
@@ -56,12 +128,18 @@ class AnalysisReport:
     files_analyzed: int = 0
     parse_errors: list[str] = field(default_factory=list)
     stream_sites: list[StreamSite] = field(default_factory=list)
+    #: Files actually parsed (cache misses) — the cache-speedup metric.
+    files_parsed: int = 0
+    #: Files served from the content-hash cache.
+    cache_hits: int = 0
 
 
 def analyze_source(source: str, path: str,
                    rules: Iterable[Rule] | None = None) -> list[Finding]:
     """Lint one in-memory source blob (the unit-test entry point).
 
+    Runs the per-file rules only — interprocedural rules need a project
+    and live behind :func:`repro.analysis.session.analyze_project_sources`.
     Suppression comments are honored; findings are returned sorted by
     location. Raises ``SyntaxError`` for unparsable input.
     """
@@ -78,32 +156,51 @@ def analyze_source(source: str, path: str,
 
 
 def run_analysis(paths: Sequence[str | Path],
-                 select: list[str] | None = None) -> AnalysisReport:
-    """Lint every python file under ``paths`` with the selected rules."""
+                 select: list[str] | None = None,
+                 cache_dir: str | Path | None = None,
+                 jobs: int | None = None) -> AnalysisReport:
+    """Lint every python file under ``paths`` with the selected rules.
+
+    Per-file rules run (possibly cached, possibly parallel) first; the
+    project-level rules (RPR006–008) then run once over the merged
+    module graph. The report is identical whatever the cache state.
+    """
+    session = AnalysisSession(select=select, cache_dir=cache_dir,
+                              jobs=jobs)
+    files = list(iter_python_files(paths))
+    results = session.run_files(files)
+
     report = AnalysisReport()
-    rules = get_rules(select)
-    for file_path in iter_python_files(paths):
-        rel = file_path.as_posix()
-        try:
-            source = file_path.read_text(encoding="utf-8")
-            ctx = FileContext(source, rel)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            report.parse_errors.append(f"{rel}: {exc}")
+    summaries_by_path = {}
+    for result in results:
+        if result.parse_error is not None:
+            report.parse_errors.append(result.parse_error)
             continue
+        assert result.summary is not None
         report.files_analyzed += 1
-        for rule in rules:
-            for finding in rule.check(ctx):
-                if ctx.is_suppressed(finding.rule, finding.line):
-                    report.suppressed += 1
-                else:
-                    report.findings.append(finding)
+        summaries_by_path[result.path] = result.summary
+        for finding in result.findings:
+            if result.summary.is_suppressed(finding.rule, finding.line):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
         # Stream-manifest collection covers shipped code only; test
         # streams are not part of the reproducibility surface.
-        if not ctx.is_test:
-            for node, template in iter_stream_calls(ctx):
-                if template is not None:
-                    report.stream_sites.append(StreamSite(
-                        template=template, path=rel, line=node.lineno))
+        if not result.summary.is_test:
+            for template, line in result.stream_sites:
+                report.stream_sites.append(StreamSite(
+                    template=template, path=result.path, line=line))
+
+    for finding in session.run_project(results):
+        summary = summaries_by_path.get(finding.path)
+        if summary is not None and summary.is_suppressed(finding.rule,
+                                                         finding.line):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+
+    report.files_parsed = session.files_parsed
+    report.cache_hits = session.cache_hits
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     report.stream_sites.sort(key=lambda s: (s.template, s.path, s.line))
     return report

@@ -1,7 +1,9 @@
 """Rule registry for ``repro-lint``.
 
 Rules register here by id; :func:`get_rules` materializes the (optionally
-filtered) active set for one engine run.
+filtered) active per-file set for one engine run and
+:func:`get_project_rules` the interprocedural set (RPR006–RPR008), which
+run once per session over the merged module graph rather than per file.
 """
 
 from __future__ import annotations
@@ -10,7 +12,10 @@ from .common import Rule
 from .determinism import DeterminismRule
 from .merges import MergeRule
 from .numpy_entropy import NumpyEntropyRule
+from .purity import PurityRule
 from .rng_streams import RngStreamRule
+from .serialization import SerializationRule
+from .unit_flow import UnitFlowRule
 from .units import UnitRule
 
 ALL_RULES: dict[str, type[Rule]] = {
@@ -19,23 +24,47 @@ ALL_RULES: dict[str, type[Rule]] = {
                  NumpyEntropyRule)
 }
 
+#: Project-level (interprocedural) rules: run once over the module graph.
+PROJECT_RULES: dict[str, type] = {
+    rule.id: rule
+    for rule in (PurityRule, SerializationRule, UnitFlowRule)
+}
+
+
+def _validate(select: list[str]) -> None:
+    known = set(ALL_RULES) | set(PROJECT_RULES)
+    unknown = sorted(set(select) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}")
+
 
 def get_rules(select: list[str] | None = None) -> list[Rule]:
-    """Instantiate the active rules (all by default).
+    """Instantiate the active per-file rules (all by default).
 
     ``select`` is a list of rule ids; unknown ids raise ``ValueError``
     so CI configs fail loudly rather than silently checking nothing.
+    Project-level ids (RPR006–RPR008) are accepted here for validation
+    but materialize through :func:`get_project_rules`.
     """
     if select is None:
         ids = sorted(ALL_RULES)
     else:
-        unknown = sorted(set(select) - set(ALL_RULES))
-        if unknown:
-            raise ValueError(
-                f"unknown rule id(s) {', '.join(unknown)}; "
-                f"available: {', '.join(sorted(ALL_RULES))}")
-        ids = sorted(set(select))
+        _validate(select)
+        ids = sorted(set(select) & set(ALL_RULES))
     return [ALL_RULES[rule_id]() for rule_id in ids]
 
 
-__all__ = ["ALL_RULES", "Rule", "get_rules"]
+def get_project_rules(select: list[str] | None = None) -> list[object]:
+    """Instantiate the active project-level rules (all by default)."""
+    if select is None:
+        ids = sorted(PROJECT_RULES)
+    else:
+        _validate(select)
+        ids = sorted(set(select) & set(PROJECT_RULES))
+    return [PROJECT_RULES[rule_id]() for rule_id in ids]
+
+
+__all__ = ["ALL_RULES", "PROJECT_RULES", "Rule", "get_rules",
+           "get_project_rules"]

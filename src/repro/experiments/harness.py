@@ -159,6 +159,13 @@ class ShardJob:
     ``backend`` selects the execution engine without changing the job's
     meaning — the batched backend is equivalent to the event engine
     under the contract in :mod:`repro.sim.batched`.
+
+    This class is a serialization root of the shard boundary: every
+    type reachable from its fields must stay statically picklable
+    (``repro-lint`` RPR007 walks the closure and rejects callables,
+    loggers, locks, handles, and lambda defaults), and the
+    ``kw_only``/``slots`` declaration below is part of the checked
+    contract.
     """
 
     config: ExperimentConfig
@@ -230,6 +237,12 @@ def execute_shard(job: ShardJob) -> ShardExecution:
     (server dispatch, auctions, rescue) is event-driven on both
     backends; the batched backend replaces the per-user/per-campaign
     hot paths with array operations (see :mod:`repro.sim.batched`).
+
+    Purity contract: this function and everything it reaches must be a
+    pure function of ``job`` — no module-global writes, environment
+    mutation, open handles, or process state — so a dropped worker's
+    shard can be re-executed bit-identically. ``repro-lint`` RPR006
+    enforces this over the whole reachability closure.
     """
     result = ShardExecution(job=job)
     if job.mode in ("prefetch", "headline"):

@@ -27,6 +27,11 @@ from pathlib import Path
 class FaultPlan:
     """Composable fault-injection configuration (all knobs keyword-only).
 
+    A plan travels inside :class:`~repro.experiments.harness.ShardJob`
+    to worker processes, so it is a serialization root checked by
+    ``repro-lint`` RPR007: every field must stay statically picklable
+    plain data (no callables, handles, or lambda defaults).
+
     Injector intensities
     --------------------
     loss_prob:

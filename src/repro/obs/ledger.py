@@ -75,6 +75,10 @@ class RunRecord:
     append position assigned by :class:`Ledger` (0 for a record not yet
     appended) and is deliberately excluded from :attr:`record_id`, so
     re-running an identical build appends a record with the same id.
+
+    Records cross the process boundary when runs are distributed, so
+    this class is a serialization root checked by ``repro-lint``
+    RPR007: fields must remain statically picklable plain data.
     """
 
     experiment: str

@@ -19,6 +19,11 @@ Determinism contract
   depend on worker scheduling or on which process ran it.
 * With a single shard the historical stream names are used, so a
   ``shards=1`` run reproduces the pre-sharding serial results exactly.
+* Shard execution is a pure function of the dispatched
+  :class:`~repro.experiments.harness.ShardJob` — ``repro-lint`` RPR006
+  checks the reachability closure of ``execute_shard`` for module
+  state, environment writes, and open handles, so retrying a shard on
+  a different worker cannot change the merged result.
 
 Changing the *shard count* is a semantic knob, not merely an execution
 knob: each shard sells its own predicted inventory into a shard-local

@@ -31,6 +31,11 @@ per-metric bound CI enforces (and whose parameters are hashed into the
 :class:`~repro.obs.manifest.RunManifest`), so any future batched
 optimisation that trades exactness for speed must widen the contract
 visibly. See DESIGN.md §10.
+
+This module is a shard entry point for ``repro-lint``'s
+interprocedural pass: everything reachable from it must satisfy the
+RPR006 purity contract (no module-global or process state), so a
+re-dispatched shard replays bit-identically on any worker.
 """
 
 from __future__ import annotations

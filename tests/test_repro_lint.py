@@ -16,6 +16,7 @@ import pytest
 
 from repro.analysis import analyze_source, run_analysis
 from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
 from repro.analysis.cli import main as lint_main
 from repro.analysis.manifest import build_manifest, check_manifest
 
@@ -147,3 +148,74 @@ class TestBaselineMechanics:
             "src/repro/sim/x.py")
         assert before[0].line != after[0].line
         assert before[0].fingerprint == after[0].fingerprint
+
+
+class TestCliGrowth:
+    """The PR-2 surface: --paths subsets, SARIF, baseline prune."""
+
+    def test_paths_file_subset(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = lint_main(["--paths",
+                          "src/repro/sim/rng.py,src/repro/sim/engine.py",
+                          "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_analyzed"] == 2
+
+    def test_paths_missing_file_is_usage_error(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["--paths", "src/repro/nope.py"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_sarif_output_validates(self, monkeypatch, capsys):
+        from repro.analysis.sarif import validate_sarif
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src/repro/sim", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert validate_sarif(doc) == []
+
+    def test_cache_dir_cli_round_trip(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        cache = tmp_path / "cache"
+        assert lint_main(["src/repro/faults", "--cache-dir", str(cache),
+                          "--format", "json"]) == 0
+        assert list(cache.glob("*.json")), "cache dir stayed empty"
+        assert lint_main(["src/repro/faults", "--cache-dir", str(cache),
+                          "--format", "json"]) == 0
+        capsys.readouterr()
+
+    def test_baseline_prune_drops_stale_entries(self, monkeypatch,
+                                                tmp_path, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        stale = Finding(rule="RPR001", message="long-gone hazard",
+                        path="src/repro/sim/engine.py", line=1, col=0,
+                        scope="gone")
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([stale]).save(path)
+        code = lint_main(["baseline", "prune", "src/repro/sim",
+                          "--baseline", str(path)])
+        assert code == 0
+        assert "pruned 1 stale" in capsys.readouterr().out
+        assert Baseline.load(path).entries == {}
+
+    def test_baseline_prune_check_fails_without_writing(self, monkeypatch,
+                                                        tmp_path, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        stale = Finding(rule="RPR001", message="long-gone hazard",
+                        path="src/repro/sim/engine.py", line=1, col=0,
+                        scope="gone")
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([stale]).save(path)
+        code = lint_main(["baseline", "prune", "src/repro/sim",
+                          "--baseline", str(path), "--check"])
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+        assert len(Baseline.load(path).entries) == 1  # untouched
+
+    def test_baseline_prune_clean_is_noop(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = lint_main(["baseline", "prune", "src/repro/faults",
+                          "--baseline", str(BASELINE), "--check"])
+        assert code == 0
+        assert "no stale entries" in capsys.readouterr().out

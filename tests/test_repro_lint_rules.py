@@ -640,3 +640,349 @@ class TestContext:
     def test_syntax_error_propagates(self):
         with pytest.raises(SyntaxError):
             analyze_source("def broken(:\n", "src/repro/x.py")
+
+
+# ---------------------------------------------------------------------
+# Interprocedural rules (RPR006-RPR008) - injected-violation drills
+# ---------------------------------------------------------------------
+
+
+from repro.analysis.session import analyze_project_sources  # noqa: E402
+
+HARNESS = "src/repro/experiments/harness.py"
+
+
+def project_lint(files: dict[str, str], select: list[str] | None = None):
+    dedented = {path: textwrap.dedent(source)
+                for path, source in files.items()}
+    return analyze_project_sources(dedented, select=select)
+
+
+class TestShardPurity:
+    def test_global_mutation_reachable_from_shard_flagged(self):
+        findings = project_lint({HARNESS: """
+            _CACHE = {}
+
+            def remember(key):
+                _CACHE[key] = True
+                return key
+
+            def execute_shard(job):
+                return remember(job)
+            """}, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+        assert "shard-reachable via" in findings[0].message
+        assert "_CACHE" in findings[0].message
+
+    def test_same_mutation_outside_shard_closure_is_clean(self):
+        findings = project_lint({"src/repro/runner.py": """
+            _CACHE = {}
+
+            def remember(key):
+                _CACHE[key] = True
+                return key
+            """}, select=["RPR006"])
+        assert findings == []
+
+    def test_environ_write_flagged(self):
+        findings = project_lint({HARNESS: """
+            import os
+
+            def execute_shard(job):
+                os.environ["SHARD"] = str(job)
+                return job
+            """}, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+        assert "os.environ" in findings[0].message
+
+    def test_global_statement_write_flagged(self):
+        findings = project_lint({HARNESS: """
+            _LAST = None
+
+            def execute_shard(job):
+                global _LAST
+                _LAST = job
+                return job
+            """}, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+
+    def test_open_outside_with_flagged_inside_with_clean(self):
+        dirty = project_lint({HARNESS: """
+            def execute_shard(job):
+                handle = open(job)
+                return handle
+            """}, select=["RPR006"])
+        assert rules_of(dirty) == {"RPR006"}
+        clean = project_lint({HARNESS: """
+            def execute_shard(job):
+                with open(job) as handle:
+                    return handle.read()
+            """}, select=["RPR006"])
+        assert clean == []
+
+    def test_thread_spawn_flagged(self):
+        findings = project_lint({HARNESS: """
+            import threading
+
+            def execute_shard(job):
+                worker = threading.Thread(target=print)
+                return worker
+            """}, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+
+    def test_cross_module_reachability(self):
+        findings = project_lint({
+            HARNESS: """
+                from repro.sim.state import tick
+
+                def execute_shard(job):
+                    return tick(job)
+                """,
+            "src/repro/sim/state.py": """
+                _TICKS = []
+
+                def tick(job):
+                    _TICKS.append(job)
+                    return len(_TICKS)
+                """,
+        }, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+        assert findings[0].path == "src/repro/sim/state.py"
+
+    def test_suppression_with_justification_waives(self):
+        findings = project_lint({HARNESS: """
+            _CACHE = {}
+
+            def execute_shard(job):
+                # justified: per-process memo, rebuilt on re-execution
+                _CACHE[job] = True  # repro-lint: disable=RPR006
+                return job
+            """}, select=["RPR006"])
+        assert findings == []
+
+    def test_mutable_class_default_on_shard_class(self):
+        findings = project_lint({HARNESS: """
+            class Tracker:
+                seen = {}
+
+                def note(self, item):
+                    return item
+
+            def execute_shard(job):
+                tracker = Tracker()
+                return tracker.note(job)
+            """}, select=["RPR006"])
+        assert rules_of(findings) == {"RPR006"}
+        assert "mutable class-level default" in findings[0].message
+
+
+class TestSerializationSafety:
+    def test_callable_field_rejected(self):
+        findings = project_lint({HARNESS: """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(slots=True, kw_only=True)
+            class ShardJob:
+                hook: Callable[[int], int]
+            """}, select=["RPR007"])
+        assert rules_of(findings) == {"RPR007"}
+        assert "Callable" in findings[0].message
+
+    def test_missing_contract_flags_rejected(self):
+        findings = project_lint({HARNESS: """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShardJob:
+                horizon_s: float = 0.0
+            """}, select=["RPR007"])
+        messages = " ".join(f.message for f in findings)
+        assert rules_of(findings) == {"RPR007"}
+        assert "kw_only" in messages and "slots" in messages
+
+    def test_non_dataclass_root_rejected(self):
+        findings = project_lint({HARNESS: """
+            class ShardJob:
+                def __init__(self):
+                    self.horizon_s = 0.0
+            """}, select=["RPR007"])
+        assert rules_of(findings) == {"RPR007"}
+        assert "not a dataclass" in findings[0].message
+
+    def test_lambda_default_factory_rejected(self):
+        findings = project_lint({HARNESS: """
+            from dataclasses import dataclass, field
+
+            @dataclass(slots=True, kw_only=True)
+            class ShardJob:
+                counts: dict = field(default_factory=lambda: {})
+            """}, select=["RPR007"])
+        assert rules_of(findings) == {"RPR007"}
+        assert "lambda" in findings[0].message
+
+    def test_banned_type_found_through_closure(self):
+        findings = project_lint({
+            HARNESS: """
+                from dataclasses import dataclass
+
+                from repro.sim.payload import Payload
+
+                @dataclass(slots=True, kw_only=True)
+                class ShardJob:
+                    payload: Payload
+                """,
+            "src/repro/sim/payload.py": """
+                import logging
+                from dataclasses import dataclass
+
+                @dataclass
+                class Payload:
+                    log: logging.Logger
+                """,
+        }, select=["RPR007"])
+        assert rules_of(findings) == {"RPR007"}
+        assert "closure of ShardJob" in findings[0].message
+        assert findings[0].path == "src/repro/sim/payload.py"
+
+    def test_clean_value_type_passes(self):
+        findings = project_lint({HARNESS: """
+            from dataclasses import dataclass, field
+
+            @dataclass(slots=True, kw_only=True)
+            class ShardJob:
+                config: dict = field(default_factory=dict)
+                horizon_s: float = 0.0
+                mode: str = "prefetch"
+            """}, select=["RPR007"])
+        assert findings == []
+
+
+class TestUnitFlow:
+    def test_cross_module_argument_mismatch(self):
+        findings = project_lint({
+            "src/repro/sim/clock.py": """
+                def wait(timeout_ms):
+                    return timeout_ms
+                """,
+            "src/repro/sim/loop.py": """
+                from repro.sim.clock import wait
+
+                def step(delay_s):
+                    return wait(delay_s)
+                """,
+        }, select=["RPR008"])
+        assert rules_of(findings) == {"RPR008"}
+        assert findings[0].path == "src/repro/sim/loop.py"
+        assert "timeout_ms" in findings[0].message
+
+    def test_matching_units_are_clean(self):
+        findings = project_lint({
+            "src/repro/sim/clock.py": """
+                def wait(timeout_ms):
+                    return timeout_ms
+                """,
+            "src/repro/sim/loop.py": """
+                from repro.sim.clock import wait
+
+                def step(delay_ms):
+                    return wait(delay_ms)
+                """,
+        }, select=["RPR008"])
+        assert findings == []
+
+    def test_assignment_rebinding_mismatch(self):
+        findings = project_lint({"src/repro/sim/clock.py": """
+            def shift(delay_s):
+                delay_ms = delay_s
+                return delay_ms
+            """}, select=["RPR008"])
+        assert rules_of(findings) == {"RPR008"}
+
+    def test_explicit_conversion_is_clean(self):
+        findings = project_lint({"src/repro/sim/clock.py": """
+            def shift(delay_s):
+                delay_ms = delay_s * 1000.0
+                return delay_ms
+            """}, select=["RPR008"])
+        assert findings == []
+
+    def test_return_promise_mismatch(self):
+        findings = project_lint({"src/repro/sim/clock.py": """
+            def elapsed_ms(start_s):
+                return start_s
+            """}, select=["RPR008"])
+        assert rules_of(findings) == {"RPR008"}
+        assert "promises _ms" in findings[0].message
+
+    def test_unit_promising_call_result_mismatch(self):
+        findings = project_lint({"src/repro/sim/clock.py": """
+            def window_s():
+                return 3.0
+
+            def schedule():
+                window_ms = window_s()
+                return window_ms
+            """}, select=["RPR008"])
+        assert rules_of(findings) == {"RPR008"}
+
+    def test_method_receiver_offset(self):
+        findings = project_lint({"src/repro/sim/clock.py": """
+            class Timer:
+                def wait(self, timeout_ms):
+                    return timeout_ms
+
+                def step(self, delay_s):
+                    return self.wait(delay_s)
+            """}, select=["RPR008"])
+        assert rules_of(findings) == {"RPR008"}
+
+    def test_ambiguous_callee_stays_silent(self):
+        # Two classes define wait(); CHA cannot pick one, so no finding.
+        findings = project_lint({"src/repro/sim/clock.py": """
+            class A:
+                def wait(self, timeout_ms):
+                    return timeout_ms
+
+            class B:
+                def wait(self, timeout_s):
+                    return timeout_s
+
+            def step(timer, delay_s):
+                return timer.wait(delay_s)
+            """}, select=["RPR008"])
+        assert findings == []
+
+
+class TestSuppressionSpans:
+    def test_comment_anywhere_on_multiline_statement(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return (
+                    time.time()
+                )  # repro-lint: disable=RPR001
+            """)
+        assert findings == []
+
+    def test_comment_on_decorator_line_covers_def(self):
+        findings = lint("""
+            def validated(cls):
+                return cls
+
+            @validated  # repro-lint: disable=RPR004
+            class LatencyAccumulator:
+                pass
+            """, path="src/repro/metrics/latency.py")
+        assert "RPR004" not in rules_of(findings)
+
+    def test_comment_inside_body_does_not_blanket_the_def(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                x = 1  # repro-lint: disable=RPR001
+                return time.time()
+            """)
+        assert rules_of(findings) == {"RPR001"}
