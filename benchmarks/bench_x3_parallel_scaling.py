@@ -21,19 +21,30 @@ machine with >= 4 CPUs, 4 workers beat the serial run by >= 2x. On
 smaller machines the speedup line is recorded but not asserted —
 process-pool overhead with one core can only slow things down.
 
+**Beat overhead (X3c).** Times one batched shard with the live
+telemetry plane on (a ``BeatEmitter`` at an aggressive 0.2s interval
+feeding a no-op transport, plus the flight-recorder ring) against the
+same shard quiet. The live plane's pitch is "observation only, cheap
+enough to leave on" (DESIGN.md §12); this section records the actual
+price and asserts the shard's results stay bit-identical either way.
+
 Shape knobs (environment-overridable): ``REPRO_BENCH_X3_USERS``
 (default 800), ``REPRO_BENCH_X3_CAMPAIGNS`` (default 2400),
 ``REPRO_BENCH_X3_SHARDS`` (default 16) for the backend section;
-``REPRO_BENCH_SCALING_USERS`` (default 400) for the parallel section.
+``REPRO_BENCH_SCALING_USERS`` (default 400) for the parallel and
+beat-overhead sections.
 """
 
 from __future__ import annotations
 
 import os
 
+from pathlib import Path
+
 from conftest import bench_config, run_once
 
 from repro.metrics.summary import format_table
+from repro.obs.live import CallbackTransport, WorkerLiveSetup
 from repro.runner import Runner, WorldCache, _run_shard
 
 WORKER_COUNTS = (1, 2, 4)
@@ -80,14 +91,39 @@ def _scaling_curve(cache: WorldCache):
     return config, results
 
 
+def _beat_overhead(cache: WorldCache):
+    """One batched shard, live telemetry on vs off (min of repeats)."""
+    config = bench_config(
+        n_users=int(os.environ.get("REPRO_BENCH_SCALING_USERS", 400)))
+    world = cache.get(config)
+    runner = Runner(config, shards=N_SHARDS, backend="batched",
+                    world=world)
+    task = runner._tasks("headline", world)[0]
+    setup = WorkerLiveSetup(
+        transport=CallbackTransport(lambda beat: None),
+        beat_interval_s=0.2,
+        ring_size=256,
+        postmortem_dir=Path("obs-runs") / "postmortems",  # unused: no crash
+        system="headline", backend="batched")
+    timings: dict[str, float] = {}
+    shard_results = {}
+    for label, live in (("quiet", None), ("live", setup)):
+        results = [_run_shard(task, live) for _ in range(BACKEND_REPEATS)]
+        timings[label] = min(r.elapsed_s for r in results)
+        shard_results[label] = results[0]
+    return timings, shard_results
+
+
 def _both_sections():
     cache = WorldCache()
-    return _backend_speedup(cache), _scaling_curve(cache)
+    return (_backend_speedup(cache), _scaling_curve(cache),
+            _beat_overhead(cache))
 
 
 def test_x3_scaling(benchmark, record_table):
-    (backend_config, n_shards, timings,
-     shard_results), (config, results) = run_once(benchmark, _both_sections)
+    ((backend_config, n_shards, timings, shard_results),
+     (config, results),
+     (beat_timings, beat_results)) = run_once(benchmark, _both_sections)
 
     # -- section 1: backend speedup ------------------------------------
     speedup = timings["event"] / timings["batched"]
@@ -129,10 +165,30 @@ def test_x3_scaling(benchmark, record_table):
         title=(f"X3b: shard-parallel scaling, batched backend "
                f"({config.n_users} users, {os.cpu_count()} CPUs)"))
 
+    # -- section 3: beat overhead --------------------------------------
+    overhead = (beat_timings["live"] / beat_timings["quiet"] - 1.0) * 100.0
+    beat_rows = []
+    for label in ("quiet", "live"):
+        beat_rows.append((label, f"{beat_timings[label]:.2f}s",
+                          "-" if label == "quiet"
+                          else f"{overhead:+.1f}%"))
+        points.append({"section": "beat_overhead", "mode": label,
+                       "shard_elapsed_s": beat_timings[label],
+                       "overhead_pct": 0.0 if label == "quiet"
+                       else overhead})
+    beat_table = format_table(
+        ["shard", "wall clock", "overhead"],
+        beat_rows,
+        title=(f"X3c: live-beat overhead, one batched shard "
+               f"({config.n_users} users, 0.2s beat interval, "
+               f"min of {BACKEND_REPEATS})"))
+
     # Rows carry wall-clock timings, so only deterministic outcomes of
     # the serial run are curated into the ledger record.
     serial_result = results[0]
-    record_table("x3", backend_table + "\n\n" + scaling_table,
+    record_table("x3",
+                 backend_table + "\n\n" + scaling_table
+                 + "\n\n" + beat_table,
                  result=points, config=config, volatile_rows=True,
                  metrics={
                      "serial.energy_savings":
@@ -153,6 +209,11 @@ def test_x3_scaling(benchmark, record_table):
         assert result.prefetch == serial.prefetch
         assert result.realtime == serial.realtime
         assert result.comparison == serial.comparison
+    # ...and neither does the live telemetry plane (beats observe only).
+    quiet, live = beat_results["quiet"], beat_results["live"]
+    assert live.prefetch == quiet.prefetch
+    assert live.realtime == quiet.realtime
+    assert live.metrics == quiet.metrics
 
     # The payoff, gated in CI: vectorized shards are >= 3x faster where
     # demand is rich...

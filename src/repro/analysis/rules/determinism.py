@@ -13,12 +13,15 @@ Flags ambient-nondeterminism sources anywhere in the tree:
 
 Inside :mod:`repro.obs` the rule is stricter: **any** clock read —
 including the monotonic allowlist — is flagged outside
-``repro/obs/profile.py`` and ``repro/obs/resources.py``. Observability
-code runs interleaved with the simulation, so traces and metrics must
-be pure functions of simulated time; only the profiling module
-(wall-clock phase timing) and the resource-telemetry module (CPU
-seconds, peak RSS) measure real time, which keeps the "where may real
-time leak in?" audit surface to those two files.
+``repro/obs/profile.py``, ``repro/obs/resources.py``, and
+``repro/obs/live.py``. Observability code runs interleaved with the
+simulation, so traces and metrics must be pure functions of simulated
+time; only the profiling module (wall-clock phase timing), the
+resource-telemetry module (CPU seconds, peak RSS), and the live
+telemetry plane (heartbeat pacing, stall/straggler watchdog — beats
+are out-of-band and never enter results) measure real time, which
+keeps the "where may real time leak in?" audit surface to those three
+files.
 
 Constructor-shaped RNG calls (``default_rng``, ``Generator``,
 ``random.Random``) are RPR002's jurisdiction and skipped here; numpy
@@ -56,9 +59,11 @@ class DeterminismRule(Rule):
     # -- ambient state calls --------------------------------------------
 
     #: repro.obs modules allowed to read wall clocks (profile: phase
-    #: timing; resources: CPU seconds / RSS telemetry).
+    #: timing; resources: CPU seconds / RSS telemetry; live: heartbeat
+    #: pacing + stall watchdog — out-of-band, never entering results).
     OBS_CLOCK_MODULES = (("repro", "obs", "profile"),
-                         ("repro", "obs", "resources"))
+                         ("repro", "obs", "resources"),
+                         ("repro", "obs", "live"))
 
     def _check_calls(self, ctx: FileContext) -> Iterator[Finding]:
         obs_clock_free = (ctx.module_parts[:2] == ("repro", "obs")
@@ -72,9 +77,9 @@ class DeterminismRule(Rule):
                     yield make_finding(
                         self.id, ctx, node,
                         f"clock read {name}() inside repro.obs; wall-clock "
-                        "measurement belongs in repro/obs/profile.py or "
-                        "repro/obs/resources.py — traces and metrics must "
-                        "carry simulated time only")
+                        "measurement belongs in repro/obs/profile.py, "
+                        "repro/obs/resources.py, or repro/obs/live.py — "
+                        "traces and metrics must carry simulated time only")
                 continue
             if name in WALL_CLOCK_CALLS:
                 yield make_finding(

@@ -17,6 +17,7 @@ from repro.exchange.marketplace import Exchange
 from repro.faults.injector import FaultInjector
 from repro.metrics.energy import aggregate_devices
 from repro.metrics.outcomes import RealtimeOutcome
+from repro.obs.live import shard_heartbeat
 from repro.obs.runtime import current_obs
 from repro.radio.profiles import RadioProfile
 from repro.traces.schema import SECONDS_PER_DAY
@@ -43,7 +44,6 @@ def run_realtime(timelines: dict[str, ClientTimeline],
         raise ValueError("empty simulation window")
     apps = list(apps)
     obs = current_obs()
-    recorder = obs.recorder
     impressions_counter = obs.metrics.counter("realtime.impressions")
     unfilled_counter = obs.metrics.counter("realtime.unfilled_slots")
     wakeups_counter = obs.metrics.counter("realtime.radio.wakeups")
@@ -52,6 +52,7 @@ def run_realtime(timelines: dict[str, ClientTimeline],
     # and batched backends because this loop is the backend itself.
     obs.metrics.counter("throughput.users_total").inc(len(timelines))
     events_counter = obs.metrics.counter("throughput.events_total")
+    events_done = 0
     impressions = 0
     unfilled = 0
     devices: list[Device] = []
@@ -65,14 +66,15 @@ def run_realtime(timelines: dict[str, ClientTimeline],
         faults = injector.for_user(uid) if injector is not None else None
         times, kinds, payload = timeline.window(start, end)
         events_counter.inc(int(times.size))
-        if recorder.enabled and (index % 32 == 31 or index == n_users - 1):
-            # Per-shard progress heartbeat for the trace stream
-            # (sim-time stamped at the window end, so the trace stays
-            # deterministic at any parallelism).
-            recorder.instant(end, "shard", "heartbeat",
-                             args={"component": "realtime",
-                                   "users_done": index + 1,
-                                   "users": n_users})
+        events_done += int(times.size)
+        if index % 32 == 31 or index == n_users - 1:
+            # Per-shard progress heartbeat via the shared helper: the
+            # sim-time trace instant (stamped at the window end, so
+            # the trace stays deterministic at any parallelism and on
+            # both backends) plus the live-plane beat when active.
+            shard_heartbeat(obs, end, component="realtime",
+                            done=index + 1, total=n_users,
+                            users=n_users, events_done=events_done)
         for t, kind, p in zip(times, kinds, payload):
             if faults is not None and faults.dark(float(t)):
                 break  # device churned away: no further events

@@ -12,6 +12,8 @@
     adprefetch obs validate runs/run-000-headline/trace.jsonl
     adprefetch obs ledger list            # the committed run ledger
     adprefetch obs ledger regress         # CI perf/behaviour gate
+    adprefetch obs postmortem list        # flight-recorder black boxes
+    adprefetch obs postmortem show obs-runs/postmortems/shard-003-crash.json
 
 ``run``, ``headline``, and ``report`` accept ``--jobs N`` to execute
 user shards across N worker processes (see :class:`repro.runner.Runner`;
@@ -28,6 +30,11 @@ Perfetto; implies ``--metrics-out`` defaulting to ``./obs-runs``), and
 ``--ledger PATH`` appends one deterministic
 :class:`repro.obs.ledger.RunRecord` per run to that JSONL ledger.
 ``--verbose`` turns on the shared :mod:`repro.obs.log` diagnostics.
+``--progress`` switches on the live telemetry plane
+(:mod:`repro.obs.live`): streamed shard heartbeats rendered as a live
+progress line on stderr, a straggler/stall watchdog, and flight-recorder
+postmortems for crashed or lost shards (``--beat-interval`` tunes the
+heartbeat pacing; results stay bit-identical with the plane on or off).
 ``run``, ``headline``, and ``report`` also accept ``--faults plan.json``
 to inject deterministic faults (see :mod:`repro.faults`); results stay
 bit-identical at any ``--jobs`` for any plan.
@@ -98,6 +105,16 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "gitignored .timings sibling)")
     parser.add_argument("--verbose", action="store_true",
                         help="enable repro.obs.log diagnostics on stderr")
+    parser.add_argument("--progress", action="store_true",
+                        help="live shard progress on stderr (single-line "
+                             "refresh on a TTY, plain lines when piped) "
+                             "via the repro.obs.live telemetry plane; "
+                             "results stay bit-identical")
+    parser.add_argument("--beat-interval", type=float, metavar="SECONDS",
+                        default=1.0,
+                        help="min wall-clock seconds between shard "
+                             "heartbeats when the live plane is on "
+                             "(default: 1.0)")
 
 
 def _install_obs_options(args: argparse.Namespace) -> None:
@@ -108,6 +125,7 @@ def _install_obs_options(args: argparse.Namespace) -> None:
     :func:`repro.obs.runtime.default_obs_options`.
     """
     from repro.obs import log
+    from repro.obs.live import LiveOptions
     from repro.obs.runtime import ObsOptions, set_default_obs_options
 
     if getattr(args, "verbose", False):
@@ -115,13 +133,25 @@ def _install_obs_options(args: argparse.Namespace) -> None:
     trace = bool(getattr(args, "trace", False))
     metrics_out = getattr(args, "metrics_out", None)
     ledger = getattr(args, "ledger", None)
+    progress = bool(getattr(args, "progress", False))
     if metrics_out is None and trace:
         metrics_out = DEFAULT_OBS_DIR
-    if metrics_out is not None or ledger is not None:
+    live = None
+    if progress:
+        # The postmortem directory rides beside the run artifacts (or
+        # under the default obs dir when none was requested).
+        live = LiveOptions(
+            beat_interval_s=float(getattr(args, "beat_interval", 1.0)),
+            progress=True,
+            postmortem_dir=(Path(metrics_out) / "postmortems"
+                            if metrics_out is not None
+                            else Path(DEFAULT_OBS_DIR) / "postmortems"))
+    if metrics_out is not None or ledger is not None or live is not None:
         set_default_obs_options(ObsOptions(
             out_dir=Path(metrics_out) if metrics_out is not None else None,
             trace=trace,
-            ledger=Path(ledger) if ledger is not None else None))
+            ledger=Path(ledger) if ledger is not None else None,
+            live=live))
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -182,6 +212,8 @@ def _cmd_headline(args: argparse.Namespace) -> int:
           f"{result.elapsed_s:.1f}s]")
     if result.artifacts_dir is not None:
         print(f"  [run artifacts: {result.artifacts_dir}]")
+    for postmortem in result.postmortems:
+        print(f"  [postmortem: {postmortem}]")
     return 0
 
 
@@ -257,6 +289,34 @@ def _cmd_obs_ledger(args: argparse.Namespace) -> int:
     except LedgerError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_obs_postmortem(args: argparse.Namespace) -> int:
+    from repro.obs.flightrec import Postmortem, list_postmortems
+
+    if args.postmortem_command == "show":
+        try:
+            print(Postmortem.load(args.path).render())
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    # list
+    directory = args.dir
+    paths = list_postmortems(directory)
+    if not paths:
+        print(f"no postmortems under {directory}")
+        return 0
+    for path in paths:
+        try:
+            postmortem = Postmortem.load(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}  [unreadable] {exc}")
+            continue
+        print(f"{path}  [{postmortem.kind}] shard "
+              f"{postmortem.shard_index}/{postmortem.n_shards}  "
+              f"{postmortem.reason}")
+    return 0
 
 
 def _cmd_obs_validate(args: argparse.Namespace) -> int:
@@ -335,6 +395,20 @@ def build_parser() -> argparse.ArgumentParser:
                                     "repro.obs.trace schema")
     p_val.add_argument("path")
     p_val.set_defaults(func=_cmd_obs_validate)
+
+    p_pm = obs_sub.add_parser(
+        "postmortem", help="inspect flight-recorder postmortems written "
+                           "by the live telemetry plane")
+    pm_sub = p_pm.add_subparsers(dest="postmortem_command", required=True)
+    pm_show = pm_sub.add_parser("show", help="render one postmortem file")
+    pm_show.add_argument("path", help="a shard-NNN-<kind>.json file")
+    pm_show.set_defaults(func=_cmd_obs_postmortem)
+    pm_list = pm_sub.add_parser("list", help="one line per postmortem")
+    pm_list.add_argument("dir", nargs="?",
+                         default=str(Path(DEFAULT_OBS_DIR) / "postmortems"),
+                         help="postmortem directory (default: "
+                              "obs-runs/postmortems)")
+    pm_list.set_defaults(func=_cmd_obs_postmortem)
 
     p_ledger = obs_sub.add_parser(
         "ledger", help="inspect or gate the append-only run ledger")

@@ -47,6 +47,7 @@ from repro.exchange.marketplace import Exchange
 from repro.faults.injector import make_injector
 from repro.metrics.energy import aggregate_devices
 from repro.metrics.outcomes import PrefetchOutcome, RealtimeOutcome
+from repro.obs.live import shard_heartbeat
 from repro.obs.runtime import current_obs
 from repro.prediction.base import epochs_per_day, make_predictor
 from repro.prediction.models import OraclePredictor
@@ -372,17 +373,16 @@ def _execute_prefetch(job: ShardJob) -> PrefetchArtifacts:
                                          for uid in counts})
         events_counter.inc(epoch_events)
         events_done += epoch_events
-        if obs_recorder.enabled:
-            # Per-shard heartbeat: the liveness/progress signal a
-            # coordinator/worker runner can consume from the trace
-            # stream (sim-time stamped, so the trace stays
-            # deterministic).
-            obs_recorder.instant(
-                window_end, "shard", "heartbeat",
-                args={"epoch": epoch, "users": len(timelines),
-                      "events_done": events_done,
-                      "epochs_done": epoch - first_test + 1,
-                      "epochs": n_epochs - first_test})
+        # Per-shard heartbeat at the epoch boundary: the shared helper
+        # emits the sim-time trace instant (the liveness/progress
+        # signal a coordinator/worker runner can consume from the
+        # trace stream — deterministic at any parallelism and on both
+        # backends, since this loop *is* both backends) and, when the
+        # live plane is active, the out-of-band ShardBeat.
+        shard_heartbeat(obs, window_end, component="prefetch",
+                        done=epoch - first_test + 1,
+                        total=n_epochs - first_test,
+                        users=len(timelines), events_done=events_done)
 
     wakeups_counter = obs.metrics.counter("radio.wakeups")
     for device in devices.values():

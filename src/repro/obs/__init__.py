@@ -21,11 +21,21 @@ versioned run ledger with tolerance-aware ``diff`` and a ``regress``
 CI gate (DESIGN.md §11); :mod:`repro.obs.resources` samples the
 timing-bearing resource telemetry (peak RSS, CPU seconds, users/sec)
 that rides beside it; and :mod:`repro.obs.log` replaces ad-hoc prints
-with a silenceable shared logger. See DESIGN.md §8 for the naming
-scheme and merge contract.
+with a silenceable shared logger. :mod:`repro.obs.live` is the live
+telemetry plane — streamed :class:`ShardBeat` heartbeats, the
+straggler/stall watchdog, and the ``--progress`` renderer — with
+:mod:`repro.obs.flightrec` providing the bounded-ring crash flight
+recorder and postmortem files (DESIGN.md §12). See DESIGN.md §8 for
+the naming scheme and merge contract.
 """
 
 from . import log
+from .flightrec import (
+    POSTMORTEM_SCHEMA_VERSION,
+    Postmortem,
+    RingRecorder,
+    list_postmortems,
+)
 from .ledger import (
     DEFAULT_LEDGER_PATH,
     LEDGER_SCHEMA_VERSION,
@@ -38,6 +48,21 @@ from .ledger import (
     regress,
     snapshot_digest,
     timings_path_for,
+)
+from .live import (
+    NULL_EMITTER,
+    BeatEmitter,
+    CallbackTransport,
+    LiveAggregator,
+    LiveOptions,
+    LivePlane,
+    LiveSnapshot,
+    NullBeatEmitter,
+    QueueTransport,
+    ShardBeat,
+    StragglerEvent,
+    render_progress,
+    shard_heartbeat,
 )
 from .manifest import (
     MANIFEST_FILENAME,
@@ -88,26 +113,40 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "LEDGER_SCHEMA_VERSION",
     "MANIFEST_FILENAME",
+    "NULL_EMITTER",
     "NULL_RECORDER",
+    "POSTMORTEM_SCHEMA_VERSION",
+    "BeatEmitter",
+    "CallbackTransport",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "Ledger",
     "LedgerError",
+    "LiveAggregator",
+    "LiveOptions",
+    "LivePlane",
+    "LiveSnapshot",
     "MemoryRecorder",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NullBeatEmitter",
     "NullRecorder",
     "Obs",
     "ObsOptions",
     "PhaseProfiler",
     "PhaseStats",
+    "Postmortem",
+    "QueueTransport",
     "RegressReport",
     "ResourceTelemetry",
+    "RingRecorder",
     "RunManifest",
     "RunProfile",
     "RunRecord",
+    "ShardBeat",
+    "StragglerEvent",
     "SummarizeError",
     "TraceEvent",
     "TraceRecorder",
@@ -122,6 +161,7 @@ __all__ = [
     "find_run_dirs",
     "gauge",
     "histogram",
+    "list_postmortems",
     "load_run",
     "log",
     "merge_records",
@@ -130,7 +170,9 @@ __all__ = [
     "read_jsonl",
     "recorder",
     "regress",
+    "render_progress",
     "set_default_obs_options",
+    "shard_heartbeat",
     "snapshot_digest",
     "streams_manifest_hash",
     "summarize",

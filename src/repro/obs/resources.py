@@ -98,13 +98,29 @@ class ResourceTelemetry:
 
     @classmethod
     def from_jsonable(cls, payload: dict[str, object]) -> "ResourceTelemetry":
-        """Inverse of :meth:`to_jsonable` (derived rates recomputed)."""
+        """Inverse of :meth:`to_jsonable` (derived rates recomputed).
+
+        Missing keys keep their defaults (old timings files stay
+        readable), but a key that is *present* with a wrong-typed value
+        raises a one-line ``ValueError`` — silently coercing malformed
+        telemetry to 0.0 made corrupt timings files indistinguishable
+        from idle runs.
+        """
         def _f(key: str) -> float:
             value = payload.get(key, 0.0)
-            return float(value) if isinstance(value, (int, float)) else 0.0
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ValueError(
+                    f"telemetry field {key!r} must be a number, "
+                    f"got {type(value).__name__}")
+            return float(value)
+
         raw_rss = payload.get("peak_rss_bytes", 0)
-        rss = raw_rss if isinstance(raw_rss, int) else 0
-        return cls(peak_rss_bytes=rss,
+        if isinstance(raw_rss, bool) or not isinstance(raw_rss, int):
+            raise ValueError(
+                "telemetry field 'peak_rss_bytes' must be an int, "
+                f"got {type(raw_rss).__name__}")
+        return cls(peak_rss_bytes=raw_rss,
                    cpu_time_s=_f("cpu_time_s"),
                    elapsed_s=_f("elapsed_s"),
                    users_total=_f("users_total"),

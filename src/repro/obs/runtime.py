@@ -26,23 +26,36 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from .live import NULL_EMITTER, BeatEmitter, LiveOptions
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import NULL_RECORDER, TraceRecorder
 
 
 @dataclass(slots=True)
 class Obs:
-    """One observability bundle: a metrics registry plus a recorder."""
+    """One observability bundle: metrics registry, recorder, beats.
+
+    ``beats`` is the live-telemetry emitter (:mod:`repro.obs.live`);
+    it defaults to the disabled :data:`~repro.obs.live.NULL_EMITTER`
+    so hot paths can guard on ``obs.beats.enabled`` exactly like they
+    guard on ``recorder.enabled``.
+    """
 
     metrics: MetricsRegistry
     recorder: TraceRecorder
+    beats: BeatEmitter = NULL_EMITTER
 
     @classmethod
-    def create(cls, recorder: TraceRecorder | None = None) -> "Obs":
+    def create(cls, recorder: TraceRecorder | None = None,
+               beats: BeatEmitter | None = None) -> "Obs":
         """A new bundle with an empty registry (Null recorder default)."""
-        return cls(metrics=MetricsRegistry(),
-                   recorder=recorder if recorder is not None
-                   else NULL_RECORDER)
+        obs = cls(metrics=MetricsRegistry(),
+                  recorder=recorder if recorder is not None
+                  else NULL_RECORDER,
+                  beats=beats if beats is not None else NULL_EMITTER)
+        if beats is not None:
+            beats.bind_registry(obs.metrics)
+        return obs
 
 
 _DEFAULT_OBS = Obs(metrics=MetricsRegistry(), recorder=NULL_RECORDER)
@@ -106,13 +119,18 @@ class ObsOptions:
     plus ``trace.chrome.json``. ``ledger`` (CLI ``--ledger PATH``)
     additionally appends one :class:`repro.obs.ledger.RunRecord` per
     run to that JSONL ledger, with the timing-bearing telemetry going
-    to the gitignored timings sibling.
+    to the gitignored timings sibling. ``live`` (CLI ``--progress`` /
+    ``--beat-interval``) switches on the live telemetry plane
+    (:mod:`repro.obs.live`): streamed shard heartbeats, the straggler
+    watchdog, and the crash flight recorder — observation only, never
+    affecting results.
     """
 
     out_dir: Path | None = None
     trace: bool = False
     label: str = ""
     ledger: Path | None = None
+    live: LiveOptions | None = None
 
 
 _DEFAULT_OPTIONS: ObsOptions | None = None

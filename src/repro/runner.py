@@ -78,8 +78,11 @@ from repro.metrics.outcomes import (
     RealtimeOutcome,
     compare,
 )
+from repro.obs import log as obs_log
+from repro.obs.flightrec import Postmortem, RingRecorder
 from repro.obs.ledger import Ledger, snapshot_digest
 from repro.obs.ledger import RunRecord as LedgerRecord
+from repro.obs.live import BeatEmitter, LivePlane, WorkerLiveSetup
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.profile import PhaseProfiler, RunProfile
@@ -91,7 +94,13 @@ from repro.obs.runtime import (
     default_obs_options,
     next_run_dir,
 )
-from repro.obs.trace import MemoryRecorder, TraceEvent, write_chrome, write_jsonl
+from repro.obs.trace import (
+    NULL_RECORDER,
+    MemoryRecorder,
+    TraceEvent,
+    write_chrome,
+    write_jsonl,
+)
 from repro.radio.profiles import RadioProfile
 from repro.sim.batched import (
     DEFAULT_CONTRACT,
@@ -345,33 +354,99 @@ class ShardResult:
     elapsed_s: float = 0.0
 
 
-def _run_shard(task: ShardTask) -> ShardResult:
+def _run_shard(task: ShardTask,
+               live: WorkerLiveSetup | None = None) -> ShardResult:
     """Worker entry point: run one shard's epoch loop(s).
 
     Activates a fresh shard-local :class:`~repro.obs.runtime.Obs`
     bundle around the run, so every component constructed inside binds
     shard-local instruments; tracing uses a per-shard
     :class:`~repro.obs.trace.MemoryRecorder` only when requested.
+
+    When a :class:`~repro.obs.live.WorkerLiveSetup` is handed in beside
+    the task, the trace recorder is additionally wrapped in a
+    :class:`~repro.obs.flightrec.RingRecorder` flight recorder and a
+    :class:`~repro.obs.live.BeatEmitter` publishes out-of-band
+    heartbeats over the setup's transport. Both observe only: a live
+    shard computes bit-for-bit what a quiet shard computes. If the
+    shard raises, the flight recorder's ring is serialized into a
+    crash postmortem before the exception propagates to the pool.
     """
     profiler = PhaseProfiler()
-    recorder = (MemoryRecorder(shard=task.shard_index) if task.trace
-                else None)
-    obs = Obs.create(recorder)
+    inner = (MemoryRecorder(shard=task.shard_index) if task.trace
+             else None)
+    beats: BeatEmitter | None = None
+    ring: RingRecorder | None = None
+    recorder = inner
+    if live is not None:
+        ring = RingRecorder(inner if inner is not None else NULL_RECORDER,
+                            shard=task.shard_index,
+                            capacity=live.ring_size)
+        recorder = ring
+        beats = BeatEmitter(live.transport,
+                            shard_index=task.shard_index,
+                            n_shards=task.n_shards,
+                            interval_s=live.beat_interval_s)
+    obs = Obs.create(recorder, beats)
     result = ShardResult(shard_index=task.shard_index,
                          n_users=len(task.timelines))
-    with activate(obs), profiler.phase("shard.execute"):
-        execution = execute_shard(task.to_job())
-        if execution.prefetch is not None:
-            artifacts: PrefetchArtifacts = execution.prefetch
-            result.prefetch = artifacts.outcome
-            result.replication_weight = float(
-                sum(1 for s in artifacts.server.plan_stats if s.sold))
-        result.realtime = execution.realtime
+    if beats is not None:
+        beats.beat(0.0, users=result.n_users, force=True)  # hello
+    try:
+        with activate(obs), profiler.phase("shard.execute"):
+            execution = execute_shard(task.to_job())
+            if execution.prefetch is not None:
+                artifacts: PrefetchArtifacts = execution.prefetch
+                result.prefetch = artifacts.outcome
+                result.replication_weight = float(
+                    sum(1 for s in artifacts.server.plan_stats if s.sold))
+            result.realtime = execution.realtime
+    except BaseException as exc:
+        if live is not None:
+            _write_crash_postmortem(task, live, obs, ring, exc)
+        if beats is not None:
+            beats.beat(0.0, users=result.n_users, failed=True)
+        raise
+    if beats is not None:
+        beats.beat(task.horizon, users=result.n_users, final=True)
     result.metrics = obs.metrics.snapshot()
     result.events = obs.recorder.events() if task.trace else None
     stats = profiler.snapshot().phases.get("shard.execute")
     result.elapsed_s = stats.total_s if stats is not None else 0.0
     return result
+
+
+def _write_crash_postmortem(task: ShardTask, live: WorkerLiveSetup,
+                            obs: Obs, ring: RingRecorder | None,
+                            exc: BaseException) -> None:
+    """Serialize the flight recorder into a crash postmortem file.
+
+    Runs on the worker's failure path only; a postmortem that cannot
+    be written must not mask the original shard exception.
+    """
+    import traceback as tb_mod
+
+    try:
+        snapshot = obs.metrics.snapshot()
+        postmortem = Postmortem(
+            kind="crash",
+            shard_index=task.shard_index,
+            n_shards=task.n_shards,
+            system=live.system or task.system,
+            backend=live.backend or task.backend,
+            reason=f"shard raised {type(exc).__name__}: {exc}",
+            traceback="".join(tb_mod.format_exception(exc)),
+            ring_events=tuple(e.to_jsonable() for e in ring.ring())
+            if ring is not None else (),
+            ring_dropped=ring.dropped if ring is not None else 0,
+            counters=dict(snapshot.counters),
+        )
+        path = postmortem.write_to(live.postmortem_dir)
+        obs_log.get_logger("runner").warning(
+            "shard %d crashed; postmortem written: %s",
+            task.shard_index, path)
+    except OSError:
+        pass
 
 
 def _merge_prefetch(results: Sequence[ShardResult],
@@ -433,7 +508,10 @@ class RunResult:
     The observability fields (``metrics``, ``profile``, ``manifest``,
     ``trace_events``) are carried alongside the simulation outcomes and
     never feed back into them: a traced run's ``comparison`` is
-    bit-for-bit identical to an untraced one.
+    bit-for-bit identical to an untraced one. ``postmortems`` lists any
+    flight-recorder files the live plane wrote during the run (stall
+    episodes that later recovered still leave their postmortem behind,
+    so the episode is inspectable after the fact).
     """
 
     system: str
@@ -449,6 +527,7 @@ class RunResult:
     trace_events: tuple[TraceEvent, ...] = ()
     artifacts_dir: Path | None = None
     resources: ResourceTelemetry = field(default_factory=ResourceTelemetry)
+    postmortems: tuple[Path, ...] = ()
 
     def result_metrics(self) -> dict[str, float]:
         """The run's flat, contract-addressable result metrics.
@@ -599,14 +678,41 @@ class Runner:
                 f"unknown system {system!r}; expected one of {SYSTEMS}")
         options = self.obs if self.obs is not None else default_obs_options()
         trace = bool(options.trace) if options is not None else False
+        live = options.live if options is not None else None
         profiler = PhaseProfiler()
         started = time.perf_counter()
         with profiler.phase("world.build"):
             world = self.source.world_for(self.config)
         tasks = self._tasks(system, world, trace)
         workers = min(self.parallelism, len(tasks))
+        plane: LivePlane | None = None
+        if live is not None:
+            if live.postmortem_dir is None and options is not None \
+                    and options.out_dir is not None:
+                import dataclasses
+
+                live = dataclasses.replace(
+                    live, postmortem_dir=Path(options.out_dir) /
+                    "postmortems")
+            plane = LivePlane(live, n_shards=len(tasks), system=system,
+                              backend=self.backend,
+                              parallel=workers > 1)
         with profiler.phase("shards.execute"):
-            if workers > 1:
+            if plane is not None:
+                plane.start()
+                setup = plane.worker_setup()
+                try:
+                    if workers > 1:
+                        with ProcessPoolExecutor(max_workers=workers) as pool:
+                            results = list(pool.map(
+                                _run_shard, tasks, [setup] * len(tasks)))
+                    else:
+                        results = [_run_shard(task, setup) for task in tasks]
+                except BaseException:
+                    plane.finish(failed=True)
+                    raise
+                plane.finish()
+            elif workers > 1:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     results = list(pool.map(_run_shard, tasks))
             else:
@@ -661,6 +767,8 @@ class Runner:
             trace_events=tuple(events),
             artifacts_dir=artifacts_dir,
             resources=resources,
+            postmortems=(tuple(plane.postmortems)
+                         if plane is not None else ()),
         )
         if options is not None and options.ledger is not None:
             self._append_ledger(options.ledger, result, metrics)

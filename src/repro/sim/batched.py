@@ -36,6 +36,15 @@ This module is a shard entry point for ``repro-lint``'s
 interprocedural pass: everything reachable from it must satisfy the
 RPR006 purity contract (no module-global or process state), so a
 re-dispatched shard replays bit-identically on any worker.
+
+Liveness/progress signals are not this module's job: the epoch loop
+that drives both backends (:mod:`repro.experiments.harness`) emits a
+per-shard heartbeat at every epoch boundary through
+:func:`repro.obs.live.shard_heartbeat` — a sim-time trace instant plus,
+when the live telemetry plane is active, an out-of-band ``ShardBeat``
+— so batched shards report progress (and feed the crash flight
+recorder's ring) identically to event-driven shards. See DESIGN.md
+§12.
 """
 
 from __future__ import annotations
