@@ -1,0 +1,115 @@
+"""X5 (dist): coordinator/worker dispatch overhead over the pool.
+
+Times the headline comparison at the scaling shape on three executors
+sharing one prebuilt world: the serial pool (``--jobs 1``, the bit-
+identity reference), the in-process pool at ``WORKERS`` workers, and
+the distributed coordinator (``repro.dist``) at the same worker count.
+The coordinator pays for a Manager process, per-message queue hops,
+lease bookkeeping, and worker heartbeats — this benchmark records what
+that costs relative to the pool on the same layout (min of
+``REPEATS`` runs; single-core containers jitter and the minimum is the
+stable estimator).
+
+Asserted (the CI gate): all three merged results are bit-for-bit
+identical (the repro.dist contract, DESIGN.md §13), and the quiet
+coordinator run needed no retries — every worker survived, no lease
+expired, no duplicate was discarded. The wall-clock rows are volatile,
+so only the deterministic headline outcomes and dist accounting are
+curated into the committed ledger record.
+
+Shape knobs (environment-overridable): ``REPRO_BENCH_X5_USERS``
+(default 400), ``REPRO_BENCH_X5_SHARDS`` (default 8),
+``REPRO_BENCH_X5_WORKERS`` (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import bench_config, run_once
+
+from repro.metrics.summary import format_table
+from repro.runner import Runner, WorldCache
+
+REPEATS = 2
+
+
+def _shape() -> tuple[int, int]:
+    return (int(os.environ.get("REPRO_BENCH_X5_SHARDS", 8)),
+            int(os.environ.get("REPRO_BENCH_X5_WORKERS", 2)))
+
+
+def _executor_runs():
+    config = bench_config(
+        n_users=int(os.environ.get("REPRO_BENCH_X5_USERS", 400)))
+    n_shards, workers = _shape()
+    world = WorldCache().get(config)  # build once, outside the timings
+    runs = {}
+    timings: dict[str, float] = {}
+    for label, kwargs in (
+            ("pool/serial", dict(parallelism=1)),
+            (f"pool/{workers}w", dict(parallelism=workers)),
+            (f"dist/{workers}w", dict(executor="dist", workers=workers))):
+        results = [Runner(config, shards=n_shards, backend="batched",
+                          world=world, **kwargs).run("headline")
+                   for _ in range(REPEATS)]
+        timings[label] = min(r.elapsed_s for r in results)
+        runs[label] = results[0]
+    return config, n_shards, workers, timings, runs
+
+
+def test_x5_dist_overhead(benchmark, record_table):
+    config, n_shards, workers, timings, runs = run_once(
+        benchmark, _executor_runs)
+
+    serial_label = "pool/serial"
+    pool_label = f"pool/{workers}w"
+    dist_label = f"dist/{workers}w"
+    serial = runs[serial_label]
+    dist = runs[dist_label]
+
+    rows = []
+    points = []
+    for label in (serial_label, pool_label, dist_label):
+        overhead = (timings[label] / timings[pool_label] - 1.0) * 100.0
+        rows.append((label, f"{timings[label]:.2f}s",
+                     "-" if label == pool_label else f"{overhead:+.1f}%"))
+        points.append({"executor": label, "elapsed_s": timings[label],
+                       "overhead_vs_pool_pct": overhead,
+                       "n_shards": n_shards, "workers": workers})
+    table = format_table(
+        ["executor", "wall clock", "vs pool"],
+        rows,
+        title=(f"X5: coordinator dispatch overhead, headline "
+               f"({config.n_users} users, {n_shards} shards, "
+               f"{workers} workers, min of {REPEATS})"))
+
+    stats = dist.dist
+    assert stats is not None
+    record_table("x5", table, result=points, config=config,
+                 volatile_rows=True,
+                 metrics={
+                     "dist.energy_savings":
+                         dist.comparison.energy_savings,
+                     "dist.revenue_loss": dist.comparison.revenue_loss,
+                     "dist.sla_violation_rate":
+                         dist.comparison.sla_violation_rate,
+                     "dist.workers_spawned": float(stats.workers_spawned),
+                     "dist.requeues": float(stats.requeues),
+                     "dist.duplicates_discarded":
+                         float(stats.duplicates_discarded),
+                     "dist.attempts": float(stats.attempts),
+                 })
+
+    # The contract: the executor never changes the numbers.
+    for label in (pool_label, dist_label):
+        result = runs[label]
+        assert result.prefetch == serial.prefetch
+        assert result.realtime == serial.realtime
+        assert result.comparison == serial.comparison
+        assert result.metrics == serial.metrics
+    # A quiet substrate needs no recovery machinery: first attempt of
+    # every shard lands, nothing is stolen, nothing is discarded.
+    assert stats.workers_spawned == workers and stats.workers_lost == 0
+    assert stats.requeues == 0 and stats.duplicates_discarded == 0
+    assert stats.attempts == n_shards

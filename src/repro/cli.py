@@ -38,6 +38,13 @@ heartbeat pacing; results stay bit-identical with the plane on or off).
 ``run``, ``headline``, and ``report`` also accept ``--faults plan.json``
 to inject deterministic faults (see :mod:`repro.faults`); results stay
 bit-identical at any ``--jobs`` for any plan.
+``--executor dist --workers N`` dispatches shards through the
+:mod:`repro.dist` coordinator/worker runner (lease-based work-stealing,
+heartbeat-driven retry; DESIGN.md §13) instead of the process pool —
+bit-identical, even under a ``--chaos plan.json`` plan of seeded worker
+kills and duplicated results. ``--shards``/``--max-shards`` control the
+shard layout (semantic knobs; the historical silent clamp at 16 auto
+shards is now visible as a ``runner.auto_shards_clamped`` counter).
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -77,6 +84,32 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
                              "batched engine (equivalent under the "
                              "contract in repro.sim.batched; see "
                              "DESIGN.md §10)")
+    parser.add_argument("--executor", default="pool",
+                        choices=("pool", "dist"),
+                        help="shard dispatcher: 'pool' maps shards over "
+                             "a process pool; 'dist' runs the repro.dist "
+                             "coordinator/worker runner (lease-based "
+                             "work-stealing, heartbeat-driven retry; "
+                             "results bit-identical either way; see "
+                             "DESIGN.md §13)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --executor dist "
+                             "(default: --jobs)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="explicit shard count (a semantic knob: "
+                             "each shard serves a shard-local ad-server "
+                             "view; default: derived from --users)")
+    parser.add_argument("--max-shards", type=int, default=None,
+                        help="clamp on the auto-selected shard count "
+                             "(default: 16; the run's metrics carry a "
+                             "runner.auto_shards_clamped counter when "
+                             "the clamp bites)")
+    parser.add_argument("--chaos", metavar="PLAN.json", default=None,
+                        help="coordinator chaos plan for --executor dist "
+                             "(JSON; see repro.faults.CoordinatorChaos): "
+                             "seeded worker kills, duplicated and "
+                             "delayed results. Results must stay "
+                             "bit-identical under any plan")
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -154,6 +187,30 @@ def _install_obs_options(args: argparse.Namespace) -> None:
             live=live))
 
 
+def _install_exec_options(args: argparse.Namespace) -> None:
+    """Translate CLI execution flags into the process default.
+
+    Mirrors :func:`_install_obs_options`: ``Runner`` instances created
+    downstream (experiment registry, report writer) pick the executor,
+    worker count, shard clamp, and chaos plan up via
+    :func:`repro.runner.default_exec_options` without every call site
+    growing executor parameters.
+    """
+    from repro.faults.chaos import CoordinatorChaos
+    from repro.runner import ExecOptions, set_default_exec_options
+
+    chaos_path = getattr(args, "chaos", None)
+    chaos = (CoordinatorChaos.from_json_file(chaos_path)
+             if chaos_path is not None else None)
+    set_default_exec_options(ExecOptions(
+        executor=getattr(args, "executor", "pool"),
+        workers=getattr(args, "workers", None),
+        shards=getattr(args, "shards", None),
+        max_shards=getattr(args, "max_shards", None),
+        chaos=chaos,
+    ))
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     from repro.faults.plan import FaultPlan
 
@@ -182,6 +239,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.runner import WorldSource
 
     _install_obs_options(args)
+    _install_exec_options(args)
     config = _config_from(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     source = WorldSource()  # one world provider for the whole invocation
@@ -199,8 +257,13 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     from repro.runner import Runner
 
     _install_obs_options(args)
+    _install_exec_options(args)
     result = Runner(_config_from(args), parallelism=args.jobs,
-                    backend=args.backend).run("headline")
+                    backend=args.backend,
+                    executor=args.executor,
+                    workers=args.workers,
+                    shards=args.shards,
+                    max_shards=args.max_shards).run("headline")
     comparison = result.comparison
     print("Paper claim: >50% ad-energy reduction, negligible revenue "
           "loss and SLA violation rate.")
@@ -210,6 +273,11 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     print(f"  wakeup reduction   {fmt_pct(comparison.wakeup_reduction, 1)}")
     print(f"  [{result.n_shards} shard(s) x {result.parallelism} worker(s), "
           f"{result.elapsed_s:.1f}s]")
+    if result.dist is not None:
+        stats = result.dist
+        print(f"  [dist: {stats.workers_spawned} worker(s) spawned, "
+              f"{stats.workers_lost} lost, {stats.requeues} requeue(s), "
+              f"{stats.duplicates_discarded} duplicate(s) discarded]")
     if result.artifacts_dir is not None:
         print(f"  [run artifacts: {result.artifacts_dir}]")
     for postmortem in result.postmortems:
@@ -221,6 +289,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
     _install_obs_options(args)
+    _install_exec_options(args)
     ids = args.only.split(",") if args.only else None
     path = write_report(args.path, _config_from(args), ids=ids,
                         jobs=args.jobs, backend=args.backend)

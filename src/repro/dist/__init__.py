@@ -1,0 +1,59 @@
+"""repro.dist — coordinator/worker distributed shard runner.
+
+Promotes the :class:`repro.runner.Runner` from a single-host process
+pool to a **coordinator** that dispatches
+:class:`~repro.runner.ShardTask`\\ s to worker processes over a
+pluggable :class:`~repro.dist.transport.Transport`, with lease-based
+work-stealing, heartbeat-silence retry, bounded requeue on worker
+loss, and duplicate-result discard — all without changing a single
+merged bit: shard execution is a pure function of the job (repro-lint
+RPR006), so a dropped worker is just a re-executed pure function.
+
+Layering (modelled on a coordinator-core / coordinator-node split):
+
+* :mod:`~repro.dist.protocol` — the versioned wire contract: frozen
+  keyword-only message dataclasses, all JSON-round-trippable.
+* :mod:`~repro.dist.transport` — where envelopes travel: a
+  ``multiprocessing.Manager`` queue backend today, with the seam
+  documented for a socket/multi-host backend.
+* :mod:`~repro.dist.worker` — the worker loop: claim → execute →
+  stream :class:`~repro.obs.live.ShardBeat`\\ s → deliver.
+* :mod:`~repro.dist.coordinator` — dispatch, leases, retries, and the
+  deterministic shard-index-ordered result fold.
+
+Select it with ``Runner(config, executor="dist", workers=N)`` or
+``adprefetch ... --executor dist --workers N``; chaos-test it with a
+:class:`repro.faults.CoordinatorChaos` plan (``--chaos plan.json``).
+See DESIGN.md §13 for the lease/steal/retry state machine and the
+bit-identity argument.
+"""
+
+from .coordinator import Coordinator, DistError, DistStats
+from .protocol import (
+    PROTOCOL_VERSION,
+    JobAck,
+    JobEnvelope,
+    JobNack,
+    ResultEnvelope,
+    WorkerBeat,
+    WorkerHello,
+    message_from_jsonable,
+)
+from .transport import ManagerTransport, Transport, WorkerEndpoint
+
+__all__ = [
+    "Coordinator",
+    "DistError",
+    "DistStats",
+    "JobAck",
+    "JobEnvelope",
+    "JobNack",
+    "ManagerTransport",
+    "PROTOCOL_VERSION",
+    "ResultEnvelope",
+    "Transport",
+    "WorkerBeat",
+    "WorkerEndpoint",
+    "WorkerHello",
+    "message_from_jsonable",
+]

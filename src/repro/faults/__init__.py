@@ -14,12 +14,16 @@ stack behaves exactly as if this package did not exist.
 See DESIGN.md §9 for the fault model & resilience contract.
 """
 
+from .chaos import ChaosDecision, CoordinatorChaos, chaos_decision
 from .injector import FaultInjector, UserFaults, make_injector
 from .plan import FaultPlan
 
 __all__ = [
+    "ChaosDecision",
+    "CoordinatorChaos",
     "FaultInjector",
     "FaultPlan",
     "UserFaults",
+    "chaos_decision",
     "make_injector",
 ]

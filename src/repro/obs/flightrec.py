@@ -254,6 +254,53 @@ class Postmortem:
         return "\n".join(lines)
 
 
+def capture_shard_crash(*, shard_index: int, n_shards: int,
+                        system: str, backend: str,
+                        postmortem_dir: Path,
+                        exc: BaseException,
+                        ring: RingRecorder | None = None,
+                        counters: Mapping[str, float] | None = None,
+                        ) -> Path | None:
+    """Serialize a crashing shard's flight recorder into a postmortem.
+
+    The one shared failure-path writer: the pool worker entry point
+    (:func:`repro.runner.run_shard_task`) calls it directly, and the
+    distributed worker inherits it by reusing that same entry point —
+    so a crash postmortem is byte-format-identical whichever executor
+    ran the shard, and ``adprefetch obs postmortem show`` renders both
+    the same way.
+
+    Best-effort by contract: it runs while the shard's original
+    exception is in flight, so a postmortem that cannot be written
+    (read-only dir, disk full) returns ``None`` rather than masking
+    the real failure.
+    """
+    import traceback as tb_mod
+
+    from .log import get_logger
+
+    try:
+        postmortem = Postmortem(
+            kind="crash",
+            shard_index=shard_index,
+            n_shards=n_shards,
+            system=system,
+            backend=backend,
+            reason=f"shard raised {type(exc).__name__}: {exc}",
+            traceback="".join(tb_mod.format_exception(exc)),
+            ring_events=tuple(e.to_jsonable() for e in ring.ring())
+            if ring is not None else (),
+            ring_dropped=ring.dropped if ring is not None else 0,
+            counters=dict(counters) if counters is not None else {},
+        )
+        path = postmortem.write_to(postmortem_dir)
+        get_logger("runner").warning(
+            "shard %d crashed; postmortem written: %s", shard_index, path)
+        return path
+    except OSError:
+        return None
+
+
 def postmortem_filename(shard_index: int, kind: str) -> str:
     """Canonical postmortem file name, stable for a (shard, kind)."""
     return f"shard-{shard_index:03d}-{kind}.json"

@@ -429,6 +429,26 @@ class LiveAggregator:
         for event in events:
             self._fire(event)
 
+    def reset_shard(self, shard_index: int) -> None:
+        """Re-arm one shard's view for a re-dispatched attempt.
+
+        The distributed coordinator calls this when it requeues a
+        shard (stolen lease, lost worker): the stall/lag/done/failed
+        flags belong to the dead attempt, and the silence clock must
+        restart so the watchdog times the *new* attempt, not the old
+        one's corpse. The last beat is kept — it is still the best
+        available progress information for postmortems.
+        """
+        with self._lock:
+            view = self._views.get(shard_index)
+            if view is None:
+                return
+            view.stalled = False
+            view.lagging = False
+            view.done = False
+            view.failed = False
+            view.last_seen_s = self._clock()
+
     # -- watchdog -----------------------------------------------------
 
     def check(self) -> list[StragglerEvent]:
@@ -775,6 +795,17 @@ class LivePlane:
                            if view.last_beat is not None else None),
             )
             self._record(postmortem.write_to(self.postmortem_dir))
+
+    def note_postmortem(self, path: Path) -> None:
+        """Record an externally written postmortem (coordinator-side).
+
+        The distributed coordinator writes ``lost`` postmortems itself
+        at the instant it detects worker death (it knows the worker id
+        and exit code; the plane does not); this folds them into the
+        plane's dedup'd list so ``finish`` and callers see one
+        consistent inventory.
+        """
+        self._record(path)
 
     def _record(self, path: Path) -> None:
         if path not in self.postmortems:

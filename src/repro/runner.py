@@ -50,12 +50,16 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import reduce
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - break the runner <-> dist cycle
+    from repro.dist.coordinator import DistStats
 
 import numpy as np
 
 from repro.client.timeline import ClientTimeline
 from repro.experiments.config import ExperimentConfig
+from repro.faults.chaos import CoordinatorChaos
 from repro.experiments.harness import (
     BACKENDS,
     PrefetchArtifacts,
@@ -78,11 +82,15 @@ from repro.metrics.outcomes import (
     RealtimeOutcome,
     compare,
 )
-from repro.obs import log as obs_log
-from repro.obs.flightrec import Postmortem, RingRecorder
+from repro.obs.flightrec import RingRecorder, capture_shard_crash
 from repro.obs.ledger import Ledger, snapshot_digest
 from repro.obs.ledger import RunRecord as LedgerRecord
-from repro.obs.live import BeatEmitter, LivePlane, WorkerLiveSetup
+from repro.obs.live import (
+    BeatEmitter,
+    LiveOptions,
+    LivePlane,
+    WorkerLiveSetup,
+)
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.profile import PhaseProfiler, RunProfile
@@ -112,6 +120,9 @@ from repro.workloads.appstore import TOP15, AppProfile
 
 SYSTEMS = ("prefetch", "realtime", "headline")
 
+#: Shard execution engines ``Runner(executor=...)`` selects between.
+EXECUTORS = ("pool", "dist")
+
 #: Target shard granularity for ``shards=None``: one shard per this many
 #: users, so the default layout is a function of the config alone.
 USERS_PER_SHARD = 200
@@ -120,13 +131,19 @@ USERS_PER_SHARD = 200
 MAX_AUTO_SHARDS = 16
 
 
-def auto_shard_count(n_users: int) -> int:
+def auto_shard_count(n_users: int, max_shards: int | None = None) -> int:
     """Default shard count for a population of ``n_users``.
 
     Deterministic in the config alone (never in worker count), so runs
-    at any parallelism agree on the shard layout.
+    at any parallelism agree on the shard layout. ``max_shards``
+    overrides the :data:`MAX_AUTO_SHARDS` clamp — the historical
+    silent cap is now a visible knob (``Runner(max_shards=...)``,
+    CLI ``--max-shards``), and the Runner emits the
+    ``runner.auto_shards_clamped`` counter whenever the clamp actually
+    bites.
     """
-    return max(1, min(MAX_AUTO_SHARDS, n_users // USERS_PER_SHARD))
+    cap = MAX_AUTO_SHARDS if max_shards is None else max(1, int(max_shards))
+    return max(1, min(cap, n_users // USERS_PER_SHARD))
 
 
 def partition_users(user_ids: Sequence[str],
@@ -148,6 +165,59 @@ def partition_users(user_ids: Sequence[str],
         chunks.append(list(user_ids[start:start + size]))
         start += size
     return chunks
+
+
+# ----------------------------------------------------------------------
+# Execution options: the CLI-installable process default
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExecOptions:
+    """Execution-plane knobs shared by every Runner in a process.
+
+    Mirrors the :class:`~repro.obs.runtime.ObsOptions` process-default
+    pattern: the CLI installs one of these from ``--executor`` /
+    ``--workers`` / ``--max-shards`` / ``--chaos`` and the experiment
+    runners pick it up without threading executor arguments through
+    every call site. All fields are execution knobs only — under the
+    determinism contract they never change a merged bit (``max_shards``
+    excepted: like ``shards`` it is a semantic knob, which is exactly
+    why its silent historical clamp became visible).
+    """
+
+    executor: str = "pool"
+    workers: int | None = None
+    shards: int | None = None
+    max_shards: int | None = None
+    chaos: CoordinatorChaos | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"expected one of {EXECUTORS}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.max_shards is not None and self.max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+
+
+_DEFAULT_EXEC_OPTIONS: ExecOptions | None = None
+
+
+def set_default_exec_options(options: ExecOptions | None) -> None:
+    """Install (or clear, with ``None``) the process-default options."""
+    global _DEFAULT_EXEC_OPTIONS
+    _DEFAULT_EXEC_OPTIONS = options
+
+
+def default_exec_options() -> ExecOptions:
+    """The installed process default, or the quiet pool default."""
+    if _DEFAULT_EXEC_OPTIONS is not None:
+        return _DEFAULT_EXEC_OPTIONS
+    return ExecOptions()
 
 
 # ----------------------------------------------------------------------
@@ -354,9 +424,15 @@ class ShardResult:
     elapsed_s: float = 0.0
 
 
-def _run_shard(task: ShardTask,
-               live: WorkerLiveSetup | None = None) -> ShardResult:
+def run_shard_task(task: ShardTask,
+                   live: WorkerLiveSetup | None = None) -> ShardResult:
     """Worker entry point: run one shard's epoch loop(s).
+
+    The **shared** entry point of both executors: the process pool maps
+    it over tasks directly, and every :mod:`repro.dist` worker calls it
+    for each claimed job — so a shard computes bit-for-bit the same
+    result, streams the same beats, and writes the same crash
+    postmortem whichever executor dispatched it.
 
     Activates a fresh shard-local :class:`~repro.obs.runtime.Obs`
     bundle around the run, so every component constructed inside binds
@@ -416,42 +492,52 @@ def _run_shard(task: ShardTask,
     return result
 
 
+#: Backwards-compatible alias (the entry point went public for repro.dist).
+_run_shard = run_shard_task
+
+
 def _write_crash_postmortem(task: ShardTask, live: WorkerLiveSetup,
                             obs: Obs, ring: RingRecorder | None,
                             exc: BaseException) -> None:
-    """Serialize the flight recorder into a crash postmortem file.
+    """Capture a crashing shard's black box (shared obs helper).
 
     Runs on the worker's failure path only; a postmortem that cannot
-    be written must not mask the original shard exception.
+    be written must not mask the original shard exception — the
+    delegate returns ``None`` in that case rather than raising.
     """
-    import traceback as tb_mod
+    capture_shard_crash(
+        shard_index=task.shard_index,
+        n_shards=task.n_shards,
+        system=live.system or task.system,
+        backend=live.backend or task.backend,
+        postmortem_dir=live.postmortem_dir,
+        exc=exc,
+        ring=ring,
+        counters=obs.metrics.snapshot().counters,
+    )
 
-    try:
-        snapshot = obs.metrics.snapshot()
-        postmortem = Postmortem(
-            kind="crash",
-            shard_index=task.shard_index,
-            n_shards=task.n_shards,
-            system=live.system or task.system,
-            backend=live.backend or task.backend,
-            reason=f"shard raised {type(exc).__name__}: {exc}",
-            traceback="".join(tb_mod.format_exception(exc)),
-            ring_events=tuple(e.to_jsonable() for e in ring.ring())
-            if ring is not None else (),
-            ring_dropped=ring.dropped if ring is not None else 0,
-            counters=dict(snapshot.counters),
-        )
-        path = postmortem.write_to(live.postmortem_dir)
-        obs_log.get_logger("runner").warning(
-            "shard %d crashed; postmortem written: %s",
-            task.shard_index, path)
-    except OSError:
-        pass
+
+def canonical_shard_results(
+        results: Sequence[ShardResult]) -> list[ShardResult]:
+    """Canonical merge order: shard-index sorted, duplicates dropped.
+
+    The normalization both merge folds apply, so the merged outcome is
+    invariant under any *arrival* permutation of shard results — the
+    property the distributed coordinator's bit-identity contract rests
+    on (a stolen lease's original execution may deliver a late
+    duplicate; shard execution is pure, so any copy of a shard index
+    carries identical bits and the first one seen wins).
+    """
+    by_index: dict[int, ShardResult] = {}
+    for result in results:
+        by_index.setdefault(result.shard_index, result)
+    return [by_index[index] for index in sorted(by_index)]
 
 
 def _merge_prefetch(results: Sequence[ShardResult],
                     config: ExperimentConfig) -> PrefetchOutcome:
     """Fold shard prefetch outcomes into one population-wide outcome."""
+    results = canonical_shard_results(results)
     pairs = [(r.prefetch, r) for r in results if r.prefetch is not None]
     outcomes = [outcome for outcome, _ in pairs]
     energy = reduce(EnergyAccumulator.merge,
@@ -483,7 +569,8 @@ def _merge_prefetch(results: Sequence[ShardResult],
 
 def _merge_realtime(results: Sequence[ShardResult]) -> RealtimeOutcome:
     """Fold shard realtime outcomes into one population-wide outcome."""
-    outcomes = [r.realtime for r in results if r.realtime is not None]
+    outcomes = [r.realtime for r in canonical_shard_results(results)
+                if r.realtime is not None]
     energy = reduce(EnergyAccumulator.merge,
                     (EnergyAccumulator.from_report(o.energy)
                      for o in outcomes), EnergyAccumulator())
@@ -528,6 +615,11 @@ class RunResult:
     artifacts_dir: Path | None = None
     resources: ResourceTelemetry = field(default_factory=ResourceTelemetry)
     postmortems: tuple[Path, ...] = ()
+    #: Distributed-executor accounting (``None`` for pool runs). Kept
+    #: out of ``metrics`` on purpose: requeues and duplicate discards
+    #: describe the unreliable substrate, not the simulation, and the
+    #: merged snapshot must stay bit-identical across executors.
+    dist: "DistStats | None" = None
 
     def result_metrics(self) -> dict[str, float]:
         """The run's flat, contract-addressable result metrics.
@@ -608,6 +700,26 @@ class Runner:
         ``--trace``/``--metrics-out`` flags (see
         :func:`repro.obs.runtime.set_default_obs_options`); pass
         ``ObsOptions()`` explicitly to force the quiet default.
+    executor:
+        Shard execution engine: ``"pool"`` (in-process / process-pool
+        map, the historical path) or ``"dist"`` (the
+        :mod:`repro.dist` coordinator/worker runner with lease-based
+        work-stealing and retry). Purely an execution knob: merged
+        results are bit-for-bit identical across executors. ``None``
+        falls back to the process default installed by the CLI's
+        ``--executor`` flag (see :func:`set_default_exec_options`).
+    workers:
+        Worker-process count for the ``"dist"`` executor (defaults to
+        ``parallelism``). Purely an execution knob.
+    max_shards:
+        Clamp on the *auto* shard count (``shards=None``); ``None``
+        keeps the historical :data:`MAX_AUTO_SHARDS`. A semantic knob
+        like ``shards``; when the clamp actually bites, the run's
+        merged metrics carry a ``runner.auto_shards_clamped`` counter.
+    chaos:
+        Optional :class:`~repro.faults.CoordinatorChaos` plan for the
+        ``"dist"`` executor (seeded worker kills / duplicated /
+        delayed results). Chaos runs must still merge bit-identically.
     """
 
     def __init__(self, config: ExperimentConfig, *,
@@ -618,7 +730,11 @@ class Runner:
                  cache: WorldCache | None = None,
                  world: World | None = None,
                  apps: Sequence[AppProfile] = TOP15,
-                 obs: ObsOptions | None = None) -> None:
+                 obs: ObsOptions | None = None,
+                 executor: str | None = None,
+                 workers: int | None = None,
+                 max_shards: int | None = None,
+                 chaos: CoordinatorChaos | None = None) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if shards is not None and shards < 1:
@@ -626,10 +742,26 @@ class Runner:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        exec_defaults = default_exec_options()
+        executor = executor if executor is not None else exec_defaults.executor
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+        workers = workers if workers is not None else exec_defaults.workers
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        max_shards = (max_shards if max_shards is not None
+                      else exec_defaults.max_shards)
+        if max_shards is not None and max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
         self.config = config
         self.parallelism = int(parallelism)
-        self.shards = shards
+        self.shards = shards if shards is not None else exec_defaults.shards
         self.backend = backend
+        self.executor = executor
+        self.workers = workers
+        self.max_shards = max_shards
+        self.chaos = chaos if chaos is not None else exec_defaults.chaos
         self.source = (source if source is not None
                        else WorldSource(cache=cache, world=world, apps=apps))
         self.obs = obs
@@ -637,8 +769,15 @@ class Runner:
     def resolve_shards(self, n_users: int) -> int:
         """The effective shard count for an ``n_users`` population."""
         n = self.shards if self.shards is not None else auto_shard_count(
-            n_users)
+            n_users, self.max_shards)
         return max(1, min(n, max(1, n_users)))
+
+    def _auto_clamp_bites(self, n_users: int) -> bool:
+        """Whether the auto-shard clamp actually reduced the layout."""
+        if self.shards is not None:
+            return False
+        unclamped = max(1, n_users // USERS_PER_SHARD)
+        return unclamped > auto_shard_count(n_users, self.max_shards)
 
     def _tasks(self, system: str, world: World,
                trace: bool = False) -> list[ShardTask]:
@@ -667,11 +806,14 @@ class Runner:
         """Execute ``system`` over the config's population.
 
         ``system`` is ``"prefetch"``, ``"realtime"``, or ``"headline"``
-        (both, compared on the identical trace). Shards run serially
-        in-process at ``parallelism=1``, otherwise across a
-        :class:`~concurrent.futures.ProcessPoolExecutor`; either path
-        merges shard results in shard-index order, so the metrics are
-        identical.
+        (both, compared on the identical trace). Under the ``"pool"``
+        executor shards run serially in-process at ``parallelism=1``,
+        otherwise across a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; under
+        ``"dist"`` a :class:`repro.dist.Coordinator` dispatches them to
+        worker processes with lease-based stealing and retry. Every
+        path merges shard results in shard-index order with duplicates
+        discarded, so the metrics are identical.
         """
         if system not in SYSTEMS:
             raise ValueError(
@@ -685,38 +827,54 @@ class Runner:
             world = self.source.world_for(self.config)
         tasks = self._tasks(system, world, trace)
         workers = min(self.parallelism, len(tasks))
-        plane: LivePlane | None = None
         if live is not None:
-            if live.postmortem_dir is None and options is not None \
-                    and options.out_dir is not None:
-                import dataclasses
-
-                live = dataclasses.replace(
-                    live, postmortem_dir=Path(options.out_dir) /
-                    "postmortems")
+            live = self._with_postmortem_dir(live, options)
+        plane: LivePlane | None = None
+        dist_stats: "DistStats | None" = None
+        dist_postmortems: tuple[Path, ...] = ()
+        if self.executor == "pool" and live is not None:
             plane = LivePlane(live, n_shards=len(tasks), system=system,
                               backend=self.backend,
                               parallel=workers > 1)
         with profiler.phase("shards.execute"):
-            if plane is not None:
+            if self.executor == "dist":
+                from repro.dist.coordinator import Coordinator
+
+                coordinator = Coordinator(
+                    tasks,
+                    workers=(self.workers if self.workers is not None
+                             else self.parallelism),
+                    live=(live if live is not None
+                          else self._with_postmortem_dir(LiveOptions(),
+                                                         options)),
+                    chaos=self.chaos,
+                    system=system,
+                    backend=self.backend,
+                )
+                results = coordinator.run()
+                dist_stats = coordinator.stats
+                dist_postmortems = tuple(coordinator.postmortems)
+            elif plane is not None:
                 plane.start()
                 setup = plane.worker_setup()
                 try:
                     if workers > 1:
                         with ProcessPoolExecutor(max_workers=workers) as pool:
                             results = list(pool.map(
-                                _run_shard, tasks, [setup] * len(tasks)))
+                                run_shard_task, tasks, [setup] * len(tasks)))
                     else:
-                        results = [_run_shard(task, setup) for task in tasks]
+                        results = [run_shard_task(task, setup)
+                                   for task in tasks]
                 except BaseException:
                     plane.finish(failed=True)
                     raise
                 plane.finish()
             elif workers > 1:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(_run_shard, tasks))
+                    results = list(pool.map(run_shard_task, tasks))
             else:
-                results = [_run_shard(task) for task in tasks]
+                results = [run_shard_task(task) for task in tasks]
+        results = canonical_shard_results(results)
         for shard in results:
             profiler.add(f"shard.{shard.shard_index}.execute",
                          shard.elapsed_s)
@@ -731,6 +889,12 @@ class Runner:
                 comparison = compare(prefetch, realtime)
             metrics = reduce(MetricsSnapshot.merge,
                              (r.metrics for r in results), MetricsSnapshot())
+            if self._auto_clamp_bites(len(world.timelines)):
+                # Deterministic in (config, max_shards) alone — never in
+                # executor or parallelism — so folding it into the merged
+                # snapshot keeps cross-executor bit-identity intact.
+                metrics = metrics.merge(MetricsSnapshot(
+                    counters={"runner.auto_shards_clamped": 1.0}))
             events: list[TraceEvent] = []
             if trace:
                 for shard in results:
@@ -768,11 +932,25 @@ class Runner:
             artifacts_dir=artifacts_dir,
             resources=resources,
             postmortems=(tuple(plane.postmortems)
-                         if plane is not None else ()),
+                         if plane is not None else dist_postmortems),
+            dist=dist_stats,
         )
         if options is not None and options.ledger is not None:
             self._append_ledger(options.ledger, result, metrics)
         return result
+
+    @staticmethod
+    def _with_postmortem_dir(live: LiveOptions,
+                             options: ObsOptions | None) -> LiveOptions:
+        """Default the postmortem dir into the run's artifact tree."""
+        if live.postmortem_dir is not None:
+            return live
+        if options is None or options.out_dir is None:
+            return live
+        import dataclasses
+
+        return dataclasses.replace(
+            live, postmortem_dir=Path(options.out_dir) / "postmortems")
 
     def _append_ledger(self, ledger_path: Path, result: RunResult,
                        metrics: MetricsSnapshot) -> None:

@@ -18,6 +18,16 @@ from repro.workloads.population import PopulationConfig, build_population
 _SOURCE = WorldSource()
 
 
+@pytest.fixture(autouse=True)
+def _reset_exec_options():
+    """CLI entry points install process-default ExecOptions (``--executor``
+    / ``--workers`` / ...); clear them after every test so a CLI test
+    can't silently turn later Runners distributed."""
+    from repro.runner import set_default_exec_options
+    yield
+    set_default_exec_options(None)
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return RngRegistry(1234).stream("tests")

@@ -1,0 +1,323 @@
+"""Tests for the repro.dist coordinator/worker runner.
+
+The contract under test is the ISSUE's acceptance bar: a
+``Runner(executor="dist")`` run — at any worker count, including under
+seeded worker-kill / duplicate-result chaos — merges **bit-identical**
+to the ``executor="pool", parallelism=1`` run; a killed worker's shards
+are re-dispatched with a ``lost`` postmortem written; and a crashing
+shard produces the same flight-recorder postmortem whichever executor
+ran it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.cli import main
+from repro.dist.coordinator import Coordinator, DistError, _ShardState
+from repro.dist.protocol import (
+    JobAck,
+    JobEnvelope,
+    JobNack,
+    ResultEnvelope,
+    WorkerHello,
+)
+from repro.dist.transport import STOP, Transport
+from repro.faults.chaos import CoordinatorChaos
+from repro.obs.ledger import snapshot_digest
+from repro.obs.live import LiveAggregator, LiveOptions, ShardBeat
+from repro.runner import Runner, run_shard_task
+
+
+def _dist_live(tmp_path):
+    """Quiet live options with postmortems under the test tmp dir."""
+    return LiveOptions(postmortem_dir=tmp_path / "postmortems")
+
+
+def _tasks(tiny_config, tiny_world, system="headline", shards=3):
+    runner = Runner(tiny_config, shards=shards, world=tiny_world)
+    return runner._tasks(system, tiny_world)
+
+
+# ---------------------------------------------------------------------
+# Bit-identity: dist vs pool, clean and under chaos
+# ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pool_baseline(tiny_config, tiny_world):
+    """The reference serial pool run every dist run must reproduce."""
+    return Runner(tiny_config, parallelism=1, shards=3,
+                  world=tiny_world).run("headline")
+
+
+def test_dist_is_bit_identical_to_serial_pool(tiny_config, tiny_world,
+                                              pool_baseline, tmp_path):
+    result = Runner(tiny_config, executor="dist", workers=2, shards=3,
+                    world=tiny_world,
+                    obs=None).run("headline")
+    assert snapshot_digest(result.metrics) == snapshot_digest(
+        pool_baseline.metrics)
+    assert result.comparison == pool_baseline.comparison
+    assert result.prefetch == pool_baseline.prefetch
+    assert result.realtime == pool_baseline.realtime
+    stats = result.dist
+    assert stats is not None
+    assert stats.workers == 2
+    assert stats.attempts == 3
+    assert stats.workers_lost == 0
+    # Dist bookkeeping must never leak into the merged snapshot.
+    assert not any(name.startswith("dist.") for name in
+                   result.metrics.counters)
+
+
+def test_chaos_kills_requeue_and_stay_bit_identical(
+        tiny_config, tiny_world, pool_baseline):
+    """Every shard's worker dies once after computing the result; the
+    coordinator re-dispatches each shard and the merged run must not
+    move by a single bit."""
+    chaos = CoordinatorChaos(seed=11, kill_prob=1.0)
+    result = Runner(tiny_config, executor="dist", workers=2, shards=3,
+                    world=tiny_world, chaos=chaos).run("headline")
+    assert snapshot_digest(result.metrics) == snapshot_digest(
+        pool_baseline.metrics)
+    assert result.comparison == pool_baseline.comparison
+    stats = result.dist
+    assert stats is not None
+    assert stats.workers_lost >= 1
+    assert stats.requeues == 3              # one steal per killed shard
+    # Each killed worker's shard left a `lost` postmortem behind.
+    lost = [p for p in result.postmortems if p.name.endswith("-lost.json")]
+    assert lost, "worker loss must write lost postmortems"
+    assert all(p.is_file() for p in result.postmortems)
+
+
+def test_chaos_duplicates_are_discarded_by_shard_index(
+        tiny_config, tiny_world, pool_baseline):
+    chaos = CoordinatorChaos(seed=5, duplicate_prob=1.0)
+    result = Runner(tiny_config, executor="dist", workers=2, shards=3,
+                    world=tiny_world, chaos=chaos).run("headline")
+    assert snapshot_digest(result.metrics) == snapshot_digest(
+        pool_baseline.metrics)
+    assert result.comparison == pool_baseline.comparison
+    stats = result.dist
+    assert stats is not None
+    assert stats.duplicates_discarded == 3  # every result sent twice
+
+
+def test_persistently_crashing_shard_exhausts_retries(
+        tiny_config, tiny_world, tmp_path):
+    tasks = _tasks(tiny_config, tiny_world, system="realtime", shards=2)
+    tasks[1].system = "bogus"               # detonates inside execute_shard
+    coordinator = Coordinator(tasks, workers=2,
+                              live=_dist_live(tmp_path),
+                              system="realtime", backend="event",
+                              max_attempts=2)
+    with pytest.raises(DistError, match="shard 1 failed after 2"):
+        coordinator.run()
+    assert coordinator.stats.nacks >= 2
+
+
+# ---------------------------------------------------------------------
+# Crash-capture parity between executors (shared flightrec helper)
+# ---------------------------------------------------------------------
+
+
+def test_crash_postmortem_renders_identically_across_executors(
+        tiny_config, tiny_world, tmp_path, capsys):
+    """Pool worker and dist worker share ``run_shard_task`` and the
+    ``capture_shard_crash`` helper, so ``obs postmortem show`` must
+    render byte-identical reports for the same crashing shard."""
+    from repro.obs.live import CallbackTransport, WorkerLiveSetup
+
+    tasks = _tasks(tiny_config, tiny_world, system="realtime", shards=2)
+    tasks[1].system = "bogus"
+
+    pool_dir = tmp_path / "pool-postmortems"
+    setup = WorkerLiveSetup(transport=CallbackTransport(lambda beat: None),
+                            beat_interval_s=0.0, ring_size=32,
+                            postmortem_dir=pool_dir,
+                            system="realtime", backend="event")
+    with pytest.raises(ValueError, match="bogus"):
+        run_shard_task(tasks[1], setup)
+
+    dist_dir = tmp_path / "dist" / "postmortems"
+    coordinator = Coordinator(list(tasks), workers=1,
+                              live=LiveOptions(postmortem_dir=dist_dir),
+                              system="realtime", backend="event",
+                              max_attempts=1)
+    with pytest.raises(DistError):
+        coordinator.run()
+
+    pool_path = pool_dir / "shard-001-crash.json"
+    dist_path = dist_dir / "shard-001-crash.json"
+    assert pool_path.is_file() and dist_path.is_file()
+    assert main(["obs", "postmortem", "show", str(pool_path)]) == 0
+    pool_text = capsys.readouterr().out
+    assert main(["obs", "postmortem", "show", str(dist_path)]) == 0
+    dist_text = capsys.readouterr().out
+    assert pool_text == dist_text
+    assert "shard 1/2 [crash]" in pool_text
+
+
+# ---------------------------------------------------------------------
+# Coordinator unit behaviour (leases, steals, stale traffic)
+# ---------------------------------------------------------------------
+
+
+class _ListTransport(Transport):
+    """In-memory transport for single-threaded coordinator unit tests."""
+
+    def __init__(self):
+        self.offers = []
+        self.control = deque()
+
+    def offer(self, envelope, task):
+        self.offers.append((envelope, task))
+
+    def offer_stop(self):
+        self.offers.append((STOP, None))
+
+    def collect(self, timeout_s):
+        return self.control.popleft() if self.control else None
+
+    def worker_endpoint(self):
+        raise NotImplementedError("unit transport has no worker side")
+
+
+def _unit_coordinator(tiny_config, tiny_world, tmp_path, **kwargs):
+    tasks = _tasks(tiny_config, tiny_world, system="realtime", shards=2)
+    transport = _ListTransport()
+    coordinator = Coordinator(tasks, workers=1, transport=transport,
+                              live=_dist_live(tmp_path), **kwargs)
+    for task in tasks:
+        state = _ShardState(task=task, job_id=f"shard-{task.shard_index:03d}")
+        coordinator._shards[task.shard_index] = state
+        coordinator._offer(state)
+    return coordinator, transport
+
+
+def test_expired_lease_is_requeued_with_next_attempt(
+        tiny_config, tiny_world, tmp_path):
+    coordinator, transport = _unit_coordinator(tiny_config, tiny_world,
+                                               tmp_path, lease_s=120.0)
+    state = coordinator._shards[0]
+    coordinator._handle((JobAck(worker_id="w0", job_id="shard-000",
+                                shard_index=0, attempt=0), None))
+    assert state.worker_id == "w0"
+    state.deadline = float("-inf")          # lease expires
+    coordinator._check_leases()
+    assert state.attempt == 1
+    assert coordinator.stats.requeues == 1
+    assert coordinator.stats.stall_steals == 1     # it had an owner
+    envelopes = [e for e, _ in transport.offers
+                 if isinstance(e, JobEnvelope) and e.shard_index == 0]
+    assert [e.attempt for e in envelopes] == [0, 1]
+
+
+def test_stall_event_steals_the_lease_early(tiny_config, tiny_world,
+                                            tmp_path):
+    from repro.obs.live import StragglerEvent
+
+    coordinator, _ = _unit_coordinator(tiny_config, tiny_world, tmp_path)
+    coordinator._hooks.on_straggler(
+        StragglerEvent(shard_index=1, kind="stall", silence_s=99.0))
+    coordinator._hooks.on_straggler(
+        StragglerEvent(shard_index=1, kind="lag"))    # lag never steals
+    coordinator._steal_stalled()
+    assert coordinator._shards[1].attempt == 1
+    assert coordinator._shards[0].attempt == 0
+    assert coordinator.stats.stall_steals == 1
+
+
+def test_stale_acks_nacks_and_duplicate_results_are_ignored(
+        tiny_config, tiny_world, tmp_path):
+    coordinator, _ = _unit_coordinator(tiny_config, tiny_world, tmp_path)
+    state = coordinator._shards[0]
+    state.attempt = 1                       # shard was already re-dispatched
+    coordinator._handle((JobAck(worker_id="w9", job_id="shard-000",
+                                shard_index=0, attempt=0), None))
+    assert state.worker_id == ""            # stale claim ignored
+    coordinator._handle((JobNack(worker_id="w9", job_id="shard-000",
+                                 shard_index=0, attempt=0,
+                                 reason="stale"), None))
+    assert state.attempt == 1               # stale nack does not requeue
+    result = run_shard_task(state.task)
+    coordinator._handle_result(
+        ResultEnvelope(worker_id="w1", job_id="shard-000", shard_index=0,
+                       attempt=1), result)
+    assert state.done
+    coordinator._handle_result(
+        ResultEnvelope(worker_id="w9", job_id="shard-000", shard_index=0,
+                       attempt=0), result)
+    assert coordinator.stats.duplicates_discarded == 1
+    assert coordinator._results[0] is result
+
+
+def test_malformed_result_payload_requeues_the_shard(
+        tiny_config, tiny_world, tmp_path):
+    coordinator, _ = _unit_coordinator(tiny_config, tiny_world, tmp_path)
+    coordinator._handle_result(
+        ResultEnvelope(worker_id="w0", job_id="shard-000", shard_index=0,
+                       attempt=0), {"not": "a shard result"})
+    assert coordinator._shards[0].attempt == 1
+    assert not coordinator._shards[0].done
+
+
+def test_protocol_version_mismatch_is_rejected(tiny_config, tiny_world,
+                                               tmp_path):
+    coordinator, _ = _unit_coordinator(tiny_config, tiny_world, tmp_path)
+    with pytest.raises(DistError, match="protocol"):
+        coordinator._handle((WorkerHello(worker_id="w0", protocol=99),
+                             None))
+
+
+def test_retry_budget_exhaustion_raises_dist_error(tiny_config, tiny_world,
+                                                   tmp_path):
+    coordinator, _ = _unit_coordinator(tiny_config, tiny_world, tmp_path,
+                                       max_attempts=1)
+    with pytest.raises(DistError, match="shard 0 failed after 1"):
+        coordinator._requeue(coordinator._shards[0], "boom")
+
+
+# ---------------------------------------------------------------------
+# Aggregator re-arm on re-dispatch
+# ---------------------------------------------------------------------
+
+
+def test_reset_shard_rearms_watchdog_flags():
+    clock = [0.0]
+    aggregator = LiveAggregator(2, LiveOptions(stall_after_s=5.0),
+                                clock=lambda: clock[0])
+    aggregator.ingest(ShardBeat(shard_index=0, n_shards=2, seq=0,
+                                watermark_s=1.0, failed=True))
+    clock[0] = 10.0
+    stalled = {e.shard_index for e in aggregator.check()
+               if e.kind == "stall"}
+    assert 0 in stalled                     # silent shards both flagged
+    view = aggregator.view(0)
+    assert view.failed
+    aggregator.reset_shard(0)
+    view = aggregator.view(0)
+    assert not view.failed and not view.stalled and not view.done
+    # The silence clock restarted: no immediate re-flag.
+    assert all(e.shard_index != 0 for e in aggregator.check()
+               if e.kind == "stall")
+    aggregator.reset_shard(99)              # unknown index: no-op
+
+
+# ---------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------
+
+
+def test_cli_headline_runs_dist_executor(tmp_path, capsys):
+    code = main(["headline", "--users", "40", "--days", "4",
+                 "--train-days", "2", "--shards", "2",
+                 "--executor", "dist", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[dist: " in out
+    assert "energy savings" in out

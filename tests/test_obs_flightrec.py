@@ -1,7 +1,7 @@
 """Tests for the crash flight recorder (repro.obs.flightrec).
 
 Covers the bounded ring recorder, the postmortem file round-trip and
-renderer, the worker-side crash capture in ``_run_shard``, the
+renderer, the worker-side crash capture in ``run_shard_task``, the
 parent-side lost/stall capture in ``LivePlane``, a deliberately killed
 worker process in a pooled fault run, and the
 ``adprefetch obs postmortem`` CLI.
@@ -32,7 +32,7 @@ from repro.obs.live import (
     WorkerLiveSetup,
 )
 from repro.obs.trace import NULL_RECORDER, MemoryRecorder
-from repro.runner import Runner, _run_shard
+from repro.runner import Runner, run_shard_task
 
 
 # ---------------------------------------------------------------------
@@ -156,7 +156,7 @@ def test_crashed_shard_writes_flight_recorder_postmortem(
     bad.system = "bogus"                  # detonates inside execute_shard
     beats: list[ShardBeat] = []
     with pytest.raises(ValueError, match="bogus"):
-        _run_shard(bad, _setup(tmp_path, beats.append))
+        run_shard_task(bad, _setup(tmp_path, beats.append))
     [path] = list_postmortems(tmp_path / "postmortems")
     postmortem = Postmortem.load(path)
     assert postmortem.kind == "crash"
@@ -183,7 +183,7 @@ def test_crash_postmortem_captures_flight_recorder_ring(
     tasks = _shard_tasks(tiny_config, tiny_world, system="prefetch",
                          shards=1)
     with pytest.raises(RuntimeError, match="exploded"):
-        _run_shard(tasks[0], _setup(tmp_path))
+        run_shard_task(tasks[0], _setup(tmp_path))
     [path] = list_postmortems(tmp_path / "postmortems")
     postmortem = Postmortem.load(path)
     assert postmortem.kind == "crash"
@@ -273,7 +273,7 @@ def test_killed_worker_leaves_readable_postmortem(tiny_config, tiny_world,
     setup = plane.worker_setup()
     with pytest.raises(BrokenProcessPool):
         with ProcessPoolExecutor(max_workers=2) as pool:
-            list(pool.map(_run_shard, tasks, [setup, setup]))
+            list(pool.map(run_shard_task, tasks, [setup, setup]))
     plane.finish(failed=True)
     lost = [p for p in plane.postmortems if p.name.endswith("-lost.json")]
     assert lost, f"no lost postmortem in {plane.postmortems}"

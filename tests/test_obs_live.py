@@ -344,11 +344,17 @@ def test_live_runs_bit_identical_jobs1_and_jobs4(tiny_config, tiny_world,
 
 def test_healthy_run_never_trips_watchdog(tiny_config, tiny_world,
                                           tmp_path, caplog):
-    """Jobs-4 smoke: default thresholds stay silent on a healthy run."""
+    """Default thresholds stay silent on a healthy run the machine can
+    actually schedule. The worker count adapts to the box: on a 1-CPU
+    container four workers get time-sliced so hard that the OS itself
+    manufactures sim-time stragglers — which the watchdog would rightly
+    flag, failing a "healthy" assertion that was never true there."""
     import logging
+    import os
 
+    jobs = 4 if (os.cpu_count() or 1) >= 4 else 1
     with caplog.at_level(logging.WARNING, logger="repro.obs.live"):
-        result = _run(tiny_config, tiny_world, 4, True, tmp_path)
+        result = _run(tiny_config, tiny_world, jobs, True, tmp_path)
     assert result.postmortems == ()
     pm_dir = tmp_path / "postmortems"
     assert not (pm_dir.exists() and list(pm_dir.glob("*.json")))
@@ -361,12 +367,12 @@ def test_live_plane_serial_collects_beats(tiny_config, tiny_world):
                       system="realtime", parallel=False)
     plane.start()
     setup = plane.worker_setup()
-    from repro.runner import _run_shard
+    from repro.runner import run_shard_task
     runner = Runner(tiny_config, shards=2, world=tiny_world)
     world = runner.source.world_for(tiny_config)
     tasks = runner._tasks("realtime", world)
     for task in tasks:
-        _run_shard(task, setup)
+        run_shard_task(task, setup)
     plane.finish()
     snap = plane.aggregator.snapshot()
     assert snap.done == 2 and snap.failed == 0

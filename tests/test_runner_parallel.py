@@ -4,16 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+import repro.runner as runner_module
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ShardJob, execute_shard
 from repro.metrics.outcomes import compare
 from repro.runner import (
+    ExecOptions,
     Runner,
     RunResult,
     WorldCache,
     WorldSource,
     auto_shard_count,
     partition_users,
+    set_default_exec_options,
     shard_rng_tag,
 )
 
@@ -48,6 +51,61 @@ def test_partition_users_is_contiguous_and_near_even():
 def test_single_shard_uses_legacy_stream_names():
     assert shard_rng_tag(0, 1) == ""
     assert shard_rng_tag(2, 4) == "#shard2/4"
+
+
+# ----------------------------------------------------------------------
+# max_shards: the historical clamp-to-16 as a visible knob
+# ----------------------------------------------------------------------
+
+
+def test_auto_shard_count_honours_max_shards_override():
+    assert auto_shard_count(4000) == 16                  # default clamp
+    assert auto_shard_count(4000, max_shards=4) == 4
+    assert auto_shard_count(4000, max_shards=64) == 20   # layout smaller
+    assert auto_shard_count(400, max_shards=16) == 2     # cap not binding
+    assert auto_shard_count(40, max_shards=1) == 1
+
+
+def test_runner_max_shards_caps_resolved_layout(tiny_config, monkeypatch):
+    monkeypatch.setattr(runner_module, "USERS_PER_SHARD", 10)
+    assert Runner(tiny_config).resolve_shards(40) == 4
+    assert Runner(tiny_config, max_shards=2).resolve_shards(40) == 2
+    # Explicit shards= bypasses the auto layout (and its clamp) entirely.
+    assert Runner(tiny_config, shards=3, max_shards=1).resolve_shards(40) == 3
+    with pytest.raises(ValueError):
+        Runner(tiny_config, max_shards=0)
+
+
+def test_auto_clamp_emits_counter_without_touching_results(
+        tiny_config, shard_world, monkeypatch):
+    """When the clamp actually bites, the run carries the obs counter;
+    the merged outcome still equals an explicitly single-sharded run."""
+    monkeypatch.setattr(runner_module, "USERS_PER_SHARD", 10)
+    clamped = Runner(tiny_config, max_shards=1,
+                     world=shard_world).run("realtime")
+    assert clamped.n_shards == 1
+    assert clamped.metrics.counters["runner.auto_shards_clamped"] == 1.0
+    explicit = Runner(tiny_config, shards=1,
+                      world=shard_world).run("realtime")
+    assert "runner.auto_shards_clamped" not in explicit.metrics.counters
+    assert clamped.realtime == explicit.realtime
+
+
+def test_exec_options_default_reaches_new_runners(tiny_config):
+    try:
+        set_default_exec_options(ExecOptions(workers=2, max_shards=3))
+        runner = Runner(tiny_config)
+        assert runner.executor == "pool"
+        assert runner.workers == 2 and runner.max_shards == 3
+        # Explicit arguments beat the installed default.
+        assert Runner(tiny_config, max_shards=5).max_shards == 5
+    finally:
+        set_default_exec_options(None)
+    assert Runner(tiny_config).max_shards is None
+    with pytest.raises(ValueError):
+        ExecOptions(executor="quantum")
+    with pytest.raises(ValueError):
+        ExecOptions(max_shards=0)
 
 
 # ----------------------------------------------------------------------
